@@ -1,0 +1,69 @@
+"""Figure 6 — GLU pruning vs predictive GLU pruning, SwiGLU vs ReLU-fied.
+
+The paper's diagnosis of why DejaVu-style predictors fail on modern LLMs:
+on the SwiGLU model the gap between oracle GLU pruning and predictor-based
+pruning is large, while on the ReLU-fied counterpart the same predictor
+recipe nearly closes the gap.  The bench sweeps GLU density and reports
+perplexity for both methods on both models, plus the predictors' top-k
+recall.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.eval.perplexity import dense_perplexity, perplexity
+from repro.eval.reporting import format_table
+from repro.sparsity.glu_pruning import GLUPruning
+from repro.sparsity.predictive import PredictiveGLUPruning
+from repro.training.predictor import PredictorTrainingConfig, predictor_topk_recall, train_predictors
+from repro.sparsity.thresholding import collect_glu_activations, collect_mlp_inputs
+
+DENSITIES = [0.25, 0.5, 0.75] if not FAST else [0.5]
+
+
+def run_fig06(swiglu_prepared, relu_model, bench_settings):
+    calib = swiglu_prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    eval_seqs = swiglu_prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    config = PredictorTrainingConfig(hidden_units=32, epochs=4, target_fraction=0.1, seed=0)
+
+    rows = []
+    for label, model in (("SwiGLU", swiglu_prepared.model), ("ReLU-fied", relu_model)):
+        predictors = train_predictors(model, calib, config)
+        inputs = collect_mlp_inputs(model, calib)
+        glus = collect_glu_activations(model, calib)
+        recall = float(np.mean([
+            predictor_topk_recall(p, x, g, 0.5) for p, x, g in zip(predictors, inputs, glus)
+        ]))
+        dense = dense_perplexity(model, eval_seqs)
+        for density in DENSITIES:
+            oracle_ppl = perplexity(model, eval_seqs, GLUPruning(density, oracle=True))
+            predictive_ppl = perplexity(
+                model, eval_seqs, PredictiveGLUPruning(density, predictors=predictors)
+            )
+            rows.append(
+                {
+                    "model": label,
+                    "glu_density": density,
+                    "dense_ppl": dense,
+                    "glu_oracle_ppl": oracle_ppl,
+                    "predictive_ppl": predictive_ppl,
+                    "predictor_recall@50%": recall,
+                }
+            )
+    return rows
+
+
+def test_fig06_predictor_gap(benchmark, mistral, relufied_mistral, bench_settings, capsys):
+    rows = run_once(benchmark, lambda: run_fig06(mistral, relufied_mistral, bench_settings))
+    text = format_table(rows, precision=3, title="Figure 6 — oracle vs predictive GLU pruning (SwiGLU vs ReLU-fied)")
+    write_result("fig06_predictor_gap", text)
+    with capsys.disabled():
+        print("\n" + text)
+    swiglu = [r for r in rows if r["model"] == "SwiGLU"]
+    relu = [r for r in rows if r["model"] == "ReLU-fied"]
+    # The predictive-vs-oracle perplexity gap must be larger on SwiGLU than on ReLU-fied
+    # (averaged over the density sweep) — the paper's central observation.
+    gap = lambda rs: float(np.mean([r["predictive_ppl"] - r["glu_oracle_ppl"] for r in rs]))
+    assert gap(swiglu) > gap(relu) - 1e-6
+    # And predictors should rank ReLU activations at least as well as SwiGLU ones.
+    assert relu[0]["predictor_recall@50%"] >= swiglu[0]["predictor_recall@50%"] - 0.05

@@ -1,0 +1,73 @@
+"""Figure 8 — Pareto curves: perplexity / accuracy vs MLP density (Phi-3-Medium).
+
+Sweeps the MLP density for the dynamic-sparsity methods plus the static
+SparseGPT baseline and prints both metrics per density (the two panels of the
+paper's Figure 8).  Reproduction target: DIP dominates the other predictor-
+free methods and approaches the dense model as density grows, SparseGPT sits
+below the dynamic methods, and every curve degrades monotonically (up to
+noise) as density shrinks.
+"""
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
+from repro.eval.accuracy import task_accuracy
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_series
+from repro.sparsity.registry import build_method
+
+DENSITIES = [0.3, 0.4, 0.5, 0.7, 0.9] if not FAST else [0.4, 0.7]
+METHODS = ["dejavu", "cats", "dip"]
+
+
+def run_fig08(prepared, bench_settings):
+    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    ppl_series, acc_series = {}, {}
+    for name in METHODS:
+        ppls, accs = [], []
+        for density in DENSITIES:
+            kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
+            method = build_method(name, target_density=density, **kwargs)
+            if method.requires_calibration:
+                method.calibrate(prepared.model, calib)
+            ppls.append(perplexity(prepared.model, eval_seqs, method))
+            accs.append(task_accuracy(prepared.model, prepared.primary_task, method,
+                                      max_examples=bench_settings.max_task_examples))
+        ppl_series[name] = ppls
+        acc_series[name] = accs
+
+    # Static SparseGPT baseline: one pruned model per density.
+    ppls, accs = [], []
+    for density in DENSITIES:
+        pruned = copy.deepcopy(prepared.model)
+        sparsegpt_prune_model(pruned, calib, SparseGPTConfig(sparsity=1 - density, block_size=16))
+        ppls.append(perplexity(pruned, eval_seqs, None))
+        accs.append(task_accuracy(pruned, prepared.primary_task, None,
+                                  max_examples=bench_settings.max_task_examples))
+    ppl_series["sparsegpt"] = ppls
+    acc_series["sparsegpt"] = accs
+    return ppl_series, acc_series
+
+
+def test_fig08_pareto_phi3med(benchmark, phi3_medium, bench_settings, capsys):
+    ppl_series, acc_series = run_once(benchmark, lambda: run_fig08(phi3_medium, bench_settings))
+    text = (
+        format_series(DENSITIES, ppl_series, x_label="mlp_density", precision=3,
+                      title=f"Figure 8 (left) — WikiText-style perplexity vs MLP density "
+                            f"(dense = {phi3_medium.dense_ppl:.3f})")
+        + "\n\n"
+        + format_series(DENSITIES, acc_series, x_label="mlp_density", precision=1,
+                        title="Figure 8 (right) — synthetic-MMLU accuracy [%] vs MLP density")
+    )
+    write_result("fig08_pareto_phi3med", text)
+    with capsys.disabled():
+        print("\n" + text)
+    # DIP must dominate CATS and DejaVu in perplexity across the sweep (on average).
+    assert np.mean(ppl_series["dip"]) <= np.mean(ppl_series["cats"]) + 0.05
+    assert np.mean(ppl_series["dip"]) <= np.mean(ppl_series["dejavu"]) + 0.05
+    # Perplexity improves (weakly) with density for DIP.
+    assert ppl_series["dip"][0] >= ppl_series["dip"][-1] - 0.05

@@ -1,0 +1,95 @@
+"""Figure 9 — DIP combined with quantization vs pure quantization / pruning.
+
+The paper's Figure 9 plots perplexity against total memory for blockwise
+quantization (BQ) at 2/3/4 bits, vector quantization (VQ) at 2/3 bits,
+SparseGPT (with its 1-bit mask overhead) and DIP stacked on top of BQ4 / VQ3.
+Memory is accounted at paper scale (Phi-3-Medium geometry); accuracy comes
+from applying the same transforms to the simulation model.
+
+Reproduction target: BQ4+DIP traces a better perplexity/memory frontier than
+dropping the bit-width further (BQ3/BQ2), i.e. dynamic sparsity is the better
+way to spend a shrinking memory budget.
+"""
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.compression.footprint import model_memory_footprint, pruned_model_bytes, quantized_model_bytes
+from repro.compression.gptq import GPTQConfig, quantize_model_blockwise
+from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
+from repro.compression.vq import VQConfig, quantize_model_vq
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_table
+from repro.sparsity.dip import DynamicInputPruning
+from repro.utils.units import MB
+
+DIP_DENSITIES = [0.4, 0.6, 0.8] if not FAST else [0.5]
+
+
+def run_fig09(prepared, bench_settings):
+    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    paper_config = prepared.spec.paper_config
+    rows = []
+
+    quantized_models = {}
+    for bits in (4, 3, 2):
+        model = copy.deepcopy(prepared.model)
+        quantize_model_blockwise(model, calib, GPTQConfig(bits=bits, block_size=16))
+        quantized_models[f"bq{bits}"] = model
+        rows.append({
+            "configuration": f"BQ{bits} (dense)",
+            "memory_mb": quantized_model_bytes(paper_config, bits).total_bytes / MB,
+            "perplexity": perplexity(model, eval_seqs, None),
+        })
+
+    vq_models = {}
+    for bits in (3, 2):
+        model = copy.deepcopy(prepared.model)
+        quantize_model_vq(model, VQConfig(bits_per_weight=bits, vector_dim=2, kmeans_iterations=8))
+        vq_models[f"vq{bits}"] = model
+        rows.append({
+            "configuration": f"VQ{bits} (dense)",
+            "memory_mb": quantized_model_bytes(paper_config, bits).total_bytes / MB,
+            "perplexity": perplexity(model, eval_seqs, None),
+        })
+
+    for sparsity in (0.5,):
+        model = copy.deepcopy(prepared.model)
+        sparsegpt_prune_model(model, calib, SparseGPTConfig(sparsity=sparsity, block_size=16))
+        rows.append({
+            "configuration": f"SparseGPT {sparsity:.0%} (4-bit + 1-bit mask)",
+            "memory_mb": pruned_model_bytes(paper_config, sparsity, 4.0).total_bytes / MB,
+            "perplexity": perplexity(model, eval_seqs, None),
+        })
+
+    for base_label, base_bits in (("BQ4", 4.0), ("VQ3", 3.0)):
+        base_model = quantized_models["bq4"] if base_label == "BQ4" else vq_models["vq3"]
+        for density in DIP_DENSITIES:
+            footprint = model_memory_footprint(paper_config, bits_per_weight=base_bits, mlp_density=density)
+            rows.append({
+                "configuration": f"{base_label}+DIP@{density:.0%}",
+                "memory_mb": footprint.total_bytes / MB,
+                "perplexity": perplexity(base_model, eval_seqs, DynamicInputPruning(density)),
+            })
+    return rows
+
+
+def test_fig09_quantization(benchmark, phi3_medium, bench_settings, capsys):
+    rows = run_once(benchmark, lambda: run_fig09(phi3_medium, bench_settings))
+    text = format_table(rows, precision=3,
+                        title="Figure 9 — perplexity vs memory: quantization, pruning, and DIP combinations")
+    write_result("fig09_quantization", text)
+    with capsys.disabled():
+        print("\n" + text)
+    by_label = {row["configuration"]: row for row in rows}
+    # More aggressive quantization must hurt perplexity.
+    assert by_label["BQ2 (dense)"]["perplexity"] >= by_label["BQ4 (dense)"]["perplexity"] - 1e-6
+    # BQ4+DIP at its sparsest point uses less memory than dense BQ4.
+    dip_rows = [row for row in rows if row["configuration"].startswith("BQ4+DIP")]
+    assert min(r["memory_mb"] for r in dip_rows) < by_label["BQ4 (dense)"]["memory_mb"]
+    # And stacking DIP on BQ4 beats dropping to BQ2 at comparable or lower memory.
+    cheapest_dip = min(dip_rows, key=lambda r: r["memory_mb"])
+    assert cheapest_dip["perplexity"] <= by_label["BQ2 (dense)"]["perplexity"] + 0.05

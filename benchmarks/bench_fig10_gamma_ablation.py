@@ -1,0 +1,86 @@
+"""Figure 10 — (left) per-layer GLU activation spread, (right) gamma ablation.
+
+Left panel: the normalised GLU activation distribution per layer — a few
+activations dominate, most sit within one order of magnitude (this is what
+makes cache-aware re-ranking cheap).  Right panel: sweeping the DIP-CA
+penalty gamma trades perplexity against throughput; the paper finds the
+sweet spot around gamma in [0.1, 0.3].
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.engine.throughput import throughput_for_method
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_table
+from repro.hwsim.device import APPLE_A18
+from repro.hwsim.trace import SyntheticTraceConfig
+from repro.sparsity.cache_aware import CacheAwareDIP
+from repro.sparsity.thresholding import collect_glu_activations
+
+GAMMAS = [1e-3, 0.05, 0.2, 0.5, 1.0] if not FAST else [0.2, 1.0]
+DENSITY = 0.5
+
+
+def run_left_panel(prepared, bench_settings):
+    activations = collect_glu_activations(
+        prepared.model, prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    )
+    rows = []
+    for layer_index, acts in enumerate(activations):
+        normalised = np.abs(acts) / np.abs(acts).max(axis=-1, keepdims=True)
+        rows.append(
+            {
+                "layer": layer_index,
+                "p30": float(np.percentile(normalised, 30)),
+                "p50": float(np.percentile(normalised, 50)),
+                "p80": float(np.percentile(normalised, 80)),
+                "p99": float(np.percentile(normalised, 99)),
+            }
+        )
+    return rows
+
+
+def run_right_panel(prepared, bench_settings, sim_tokens):
+    device = APPLE_A18.with_dram(prepared.spec.table2_dram_bytes)
+    trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
+    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    rows = []
+    for gamma in GAMMAS:
+        method = CacheAwareDIP(DENSITY, gamma=gamma, cache_fraction=0.5)
+        ppl = perplexity(prepared.model, eval_seqs, method)
+        tput = throughput_for_method(
+            CacheAwareDIP(DENSITY, gamma=gamma), prepared.spec, device, n_tokens=sim_tokens, trace_config=trace
+        )
+        rows.append(
+            {
+                "gamma": gamma,
+                "perplexity": ppl,
+                "tokens_per_s": tput.tokens_per_second,
+                "cache_hit_rate": tput.cache_hit_rate,
+            }
+        )
+    return rows
+
+
+def test_fig10_gamma_ablation(benchmark, phi3_medium, bench_settings, sim_tokens, capsys):
+    left, right = run_once(
+        benchmark,
+        lambda: (run_left_panel(phi3_medium, bench_settings), run_right_panel(phi3_medium, bench_settings, sim_tokens)),
+    )
+    text = (
+        format_table(left, precision=4, title="Figure 10 (left) — normalised |GLU| percentiles per layer")
+        + "\n\n"
+        + format_table(right, precision=3, title=f"Figure 10 (right) — DIP-CA gamma sweep at {DENSITY:.0%} density")
+    )
+    write_result("fig10_gamma_ablation", text)
+    with capsys.disabled():
+        print("\n" + text)
+    by_gamma = {row["gamma"]: row for row in right}
+    # Smaller gamma -> more cache hits -> higher throughput; gamma=1 recovers plain DIP.
+    gammas_sorted = sorted(by_gamma)
+    assert by_gamma[gammas_sorted[0]]["cache_hit_rate"] >= by_gamma[1.0]["cache_hit_rate"]
+    assert by_gamma[gammas_sorted[0]]["tokens_per_s"] >= by_gamma[1.0]["tokens_per_s"]
+    # But an overly aggressive gamma costs more perplexity than a moderate one.
+    if 0.2 in by_gamma and gammas_sorted[0] < 0.2:
+        assert by_gamma[gammas_sorted[0]]["perplexity"] >= by_gamma[0.2]["perplexity"] - 0.05

@@ -1,0 +1,72 @@
+"""Figures 12-13 — optimal allocation of the DIP density budget (Appendix B.1).
+
+Sweeps a grid of (input density, down density) pairs, measures perplexity for
+each, extracts the Pareto front in (MLP density, perplexity) space, and fits
+the linear logit-space allocation model the paper uses to pick per-component
+densities for a target MLP density.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_table
+from repro.sparsity.density import DIPDensityAllocation, fit_allocation_model
+from repro.sparsity.dip import DynamicInputPruning
+
+GRID = [0.25, 0.4, 0.6, 0.8] if not FAST else [0.3, 0.7]
+
+
+def run_fig12(prepared, bench_settings):
+    eval_seqs = prepared.eval_sequences[: max(3, bench_settings.max_eval_sequences // 2)]
+    trials = []
+    for input_density in GRID:
+        for down_density in GRID:
+            allocation = DIPDensityAllocation(input_density, down_density)
+            method = DynamicInputPruning(allocation.mlp_density, allocation=allocation)
+            ppl = perplexity(prepared.model, eval_seqs, method)
+            trials.append(
+                {
+                    "input_density": input_density,
+                    "down_density": down_density,
+                    "mlp_density": allocation.mlp_density,
+                    "perplexity": ppl,
+                }
+            )
+    model, front = fit_allocation_model(
+        [t["input_density"] for t in trials],
+        [t["down_density"] for t in trials],
+        [t["perplexity"] for t in trials],
+    )
+    allocation_rows = [
+        {
+            "target_mlp_density": target,
+            "fit_input_density": model.input_density(target),
+            "fit_down_density": model.down_density(target),
+        }
+        for target in (0.3, 0.4, 0.5, 0.6, 0.8)
+    ]
+    return trials, front, allocation_rows
+
+
+def test_fig12_density_allocation(benchmark, phi3_medium, bench_settings, capsys):
+    trials, front, allocation_rows = run_once(benchmark, lambda: run_fig12(phi3_medium, bench_settings))
+    for index in front:
+        trials[index]["pareto"] = "*"
+    text = (
+        format_table(trials, precision=3, title="Figure 12 — 2-D density sweep (Pareto-optimal trials marked *)")
+        + "\n\n"
+        + format_table(allocation_rows, precision=3,
+                       title="Figure 12/13 — fitted allocation model: component densities per target MLP density")
+    )
+    write_result("fig12_density_allocation", text)
+    with capsys.disabled():
+        print("\n" + text)
+    assert len(front) >= 2
+    # Higher MLP density on the front means lower (or equal) perplexity.
+    front_trials = [trials[i] for i in front]
+    ppls = [t["perplexity"] for t in front_trials]
+    assert all(ppls[i] >= ppls[i + 1] - 1e-9 for i in range(len(ppls) - 1))
+    # Fitted component densities grow with the target budget.
+    inputs = [row["fit_input_density"] for row in allocation_rows]
+    assert inputs == sorted(inputs)

@@ -1,0 +1,54 @@
+"""Figure 14 — Pareto curves for Phi-3-Mini, Llama-3-8B and Mistral-7B.
+
+Same protocol as Figure 8 on the remaining three models (perplexity panel).
+Reproduction target: the method ordering transfers across models — DIP stays
+below CATS / DejaVu at every density on every model.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_series
+from repro.sparsity.registry import build_method
+
+DENSITIES = [0.35, 0.5, 0.7, 0.9] if not FAST else [0.4, 0.7]
+METHODS = ["dejavu", "cats", "dip"]
+MODELS = ["phi3-mini", "llama3-8b", "mistral-7b"]
+
+
+def run_fig14(prepared_models, bench_settings):
+    outputs = {}
+    for model_name in MODELS:
+        prepared = prepared_models[model_name]
+        eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+        calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+        series = {}
+        for name in METHODS:
+            ppls = []
+            for density in DENSITIES:
+                kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
+                method = build_method(name, target_density=density, **kwargs)
+                if method.requires_calibration:
+                    method.calibrate(prepared.model, calib)
+                ppls.append(perplexity(prepared.model, eval_seqs, method))
+            series[name] = ppls
+        outputs[model_name] = (series, prepared.dense_ppl)
+    return outputs
+
+
+def test_fig14_pareto_others(benchmark, prepared_models, bench_settings, capsys):
+    outputs = run_once(benchmark, lambda: run_fig14(prepared_models, bench_settings))
+    blocks = []
+    for model_name, (series, dense_ppl) in outputs.items():
+        blocks.append(
+            format_series(DENSITIES, series, x_label="mlp_density", precision=3,
+                          title=f"Figure 14 — {model_name} perplexity vs MLP density (dense = {dense_ppl:.3f})")
+        )
+    text = "\n\n".join(blocks)
+    write_result("fig14_pareto_others", text)
+    with capsys.disabled():
+        print("\n" + text)
+    for model_name, (series, _) in outputs.items():
+        assert np.mean(series["dip"]) <= np.mean(series["cats"]) + 0.1
+        assert np.mean(series["dip"]) <= np.mean(series["dejavu"]) + 0.1

@@ -1,0 +1,28 @@
+"""Table 1 — perplexity and downstream accuracy at 50% MLP sparsity.
+
+Paper reference values (Phi-3-Medium column): dense ppl 4.29 / 78.1% MMLU;
+DIP 5.52 / 75.5%; DIP+LoRA 5.01 / 75.9%; CATS 8.34 / 71.1%; DejaVu 6.15 /
+69.0%; Gate pruning 11.28 / 66.1%.  The reproduction target is the ordering
+(dense ≈ oracle < DIP(+LoRA) < DejaVu/CATS < Gate/Up) and the direction of
+the LoRA recovery, not the absolute values.
+"""
+
+from benchmarks.common import accuracy_table
+from benchmarks.conftest import run_once, write_result
+from repro.eval.reporting import format_table
+
+
+def test_table1_sparsity_50(benchmark, prepared_models, bench_settings, capsys):
+    rows = run_once(
+        benchmark,
+        lambda: accuracy_table(prepared_models, density=0.5, settings=bench_settings, lora_iterations=20),
+    )
+    text = format_table(rows, precision=3, title="Table 1 — dynamic sparsity at 50% MLP density")
+    write_result("table1_sparsity_50", text)
+    with capsys.disabled():
+        print("\n" + text)
+    methods = {row["method"] for row in rows}
+    assert {"dense", "dip", "dip+lora", "cats", "dejavu"} <= methods
+    # Shape check on the largest model: DIP degrades less than DejaVu.
+    by_method = {row["method"]: row for row in rows}
+    assert by_method["dip"]["phi3-medium:ppl"] <= by_method["dejavu"]["phi3-medium:ppl"] + 0.05

@@ -1,0 +1,83 @@
+"""Table 2 — throughput at a bounded perplexity increase (+0.2 / +0.5 ppl).
+
+For every model the available DRAM holds roughly half of the INT4 model
+(Table 2's "DRAM size" row).  Each method's density grid is evaluated for
+perplexity on the simulation model and for throughput on the paper-scale
+geometry through the HW simulator; the reported number is the highest
+throughput whose perplexity stays within the budget.
+
+Paper reference (Phi-3-Medium, +0.5 ppl): dense 0.29 tok/s, GLU 0.45,
+Up 0.52, CATS 0.47, DIP 0.50, DIP-CA 0.56.  The reproduction target is the
+ordering (every dynamic method beats dense; DIP-CA is the fastest).
+"""
+
+from typing import Dict
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.engine.throughput import throughput_for_method
+from repro.eval.operating_point import find_operating_point
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_table
+from repro.hwsim.device import APPLE_A18
+from repro.hwsim.trace import SyntheticTraceConfig
+from repro.sparsity.registry import build_method
+
+METHODS = ["glu", "up", "cats", "dip", "dip-ca"]
+DENSITIES = [0.35, 0.5, 0.7] if not FAST else [0.4, 0.7]
+PPL_BUDGETS = (0.2, 0.5)
+
+
+def _method(name: str, density: float):
+    if name == "dip-ca":
+        return build_method(name, target_density=density, gamma=0.2)
+    return build_method(name, target_density=density)
+
+
+def run_table2(prepared_models, bench_settings, sim_tokens):
+    rows = []
+    for model_name, prepared in prepared_models.items():
+        device = APPLE_A18.with_dram(prepared.spec.table2_dram_bytes)
+        trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
+        eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+        dense_tput = throughput_for_method(None, prepared.spec, device, n_tokens=sim_tokens,
+                                           trace_config=trace).tokens_per_second
+        row: Dict[str, object] = {"model": model_name, "dense:tok/s": dense_tput}
+        for name in METHODS:
+            ppls, tputs = [], []
+            for density in DENSITIES:
+                method = _method(name, density)
+                if method.requires_calibration:
+                    method.calibrate(prepared.model, prepared.calibration_sequences[: bench_settings.calibration_sequences])
+                ppls.append(perplexity(prepared.model, eval_seqs, method))
+                tputs.append(
+                    throughput_for_method(_method(name, density), prepared.spec, device,
+                                          n_tokens=sim_tokens, trace_config=trace).tokens_per_second
+                )
+            for budget in PPL_BUDGETS:
+                op = find_operating_point(DENSITIES, ppls, tputs, prepared.dense_ppl, budget, name)
+                row[f"{name}@+{budget}"] = op.tokens_per_second if op.feasible else None
+        rows.append(row)
+    return rows
+
+
+def test_table2_throughput(benchmark, prepared_models, bench_settings, sim_tokens, capsys):
+    rows = run_once(benchmark, lambda: run_table2(prepared_models, bench_settings, sim_tokens))
+    text = format_table(rows, precision=3, title="Table 2 — throughput [tok/s] at +0.2 / +0.5 perplexity")
+    write_result("table2_throughput", text)
+    with capsys.disabled():
+        print("\n" + text)
+    wins = 0
+    comparable = 0
+    for row in rows:
+        dense = row["dense:tok/s"]
+        dip_ca = row.get("dip-ca@+0.5")
+        dip = row.get("dip@+0.5")
+        if dip_ca is not None:
+            assert dip_ca > dense  # dynamic sparsity beats streaming the dense model
+        if dip_ca is not None and dip is not None:
+            comparable += 1
+            wins += dip_ca >= dip * 0.95
+    # Cache-aware masking should match or beat plain DIP at +0.5 ppl on most models
+    # (on the smallest model the accuracy cost of re-ranking can outweigh the
+    # cache-hit gain at this coarse density grid).
+    assert comparable == 0 or wins >= (comparable + 1) // 2

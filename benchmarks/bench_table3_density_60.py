@@ -1,0 +1,31 @@
+"""Table 3 — dynamic sparsity methods at 60% MLP density (Appendix C).
+
+Reproduces the structure of the paper's Table 3: the same method grid as
+Table 1 evaluated at a milder operating point, where every method moves much
+closer to the dense model.
+"""
+
+from benchmarks.common import accuracy_table
+from benchmarks.conftest import run_once, write_result
+from repro.eval.reporting import format_table
+
+
+def test_table3_density_60(benchmark, prepared_models, bench_settings, capsys):
+    rows = run_once(
+        benchmark,
+        lambda: accuracy_table(
+            prepared_models,
+            density=0.6,
+            settings=bench_settings,
+            static_variants=("unstructured",),
+            include_lora=False,
+        ),
+    )
+    text = format_table(rows, precision=3, title="Table 3 — dynamic sparsity at 60% MLP density")
+    write_result("table3_density_60", text)
+    with capsys.disabled():
+        print("\n" + text)
+    by_method = {row["method"]: row for row in rows}
+    dense = by_method["dense"]["phi3-medium:ppl"]
+    # At 60% density DIP must sit very close to the dense model.
+    assert by_method["dip"]["phi3-medium:ppl"] <= dense * 1.15

@@ -1,0 +1,34 @@
+"""Table 4 — dynamic sparsity methods at 40% MLP density (Appendix C).
+
+The aggressive operating point where the paper's baselines collapse (Gate
+pruning ppl > 500, CATS > 100) while DIP degrades gracefully.  The
+reproduction target is that separation, i.e. DIP's perplexity stays within a
+small factor of dense while Gate/Up/CATS blow up by a much larger factor.
+"""
+
+from benchmarks.common import accuracy_table
+from benchmarks.conftest import run_once, write_result
+from repro.eval.reporting import format_table
+
+
+def test_table4_density_40(benchmark, prepared_models, bench_settings, capsys):
+    rows = run_once(
+        benchmark,
+        lambda: accuracy_table(
+            prepared_models,
+            density=0.4,
+            settings=bench_settings,
+            static_variants=("unstructured",),
+            include_lora=True,
+            lora_iterations=15,
+        ),
+    )
+    text = format_table(rows, precision=3, title="Table 4 — dynamic sparsity at 40% MLP density")
+    write_result("table4_density_40", text)
+    with capsys.disabled():
+        print("\n" + text)
+    by_method = {row["method"]: row for row in rows}
+    # DIP must beat the partial-activation baselines at this aggressive density.
+    for model in ("phi3-medium", "mistral-7b"):
+        assert by_method["dip"][f"{model}:ppl"] < by_method["up"][f"{model}:ppl"] * 1.02
+        assert by_method["dense"][f"{model}:ppl"] <= by_method["dip"][f"{model}:ppl"] + 0.05

@@ -1,0 +1,35 @@
+"""Table 5 — accuracy at 50% MLP sparsity on the broad downstream-task suite.
+
+The paper evaluates ARC (easy/challenge), BoolQ, HellaSwag, PIQA, Winogrande,
+MGSM and MMLU-Pro; here each is represented by a synthetic multiple-choice
+family with a matching difficulty profile.  The reproduction target is the
+relative ranking per task family: dense ≈ oracle ≥ DIP ≥ SparseGPT/DejaVu/CATS.
+"""
+
+from benchmarks.common import accuracy_table
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.eval.reporting import format_table
+
+TASKS = ["arc-easy", "arc-challenge", "boolq", "hellaswag", "piqa", "winogrande", "mgsm", "mmlu-pro"]
+
+
+def test_table5_downstream_tasks(benchmark, prepared_models, bench_settings, capsys):
+    models = prepared_models if not FAST else {"phi3-medium": prepared_models["phi3-medium"]}
+    rows = run_once(
+        benchmark,
+        lambda: accuracy_table(
+            models,
+            density=0.5,
+            settings=bench_settings,
+            include_static=True,
+            static_variants=("unstructured",),
+            include_lora=False,
+            task_names=TASKS,
+        ),
+    )
+    text = format_table(rows, precision=1, title="Table 5 — task-suite accuracy at 50% MLP sparsity")
+    write_result("table5_downstream_tasks", text)
+    with capsys.disabled():
+        print("\n" + text)
+    methods = {row["method"] for row in rows}
+    assert {"dense", "glu-oracle", "dip", "cats", "dejavu"} <= methods

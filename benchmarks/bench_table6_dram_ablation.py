@@ -1,0 +1,75 @@
+"""Table 6 — throughput at +0.5 ppl for different DRAM sizes (2 / 4 / 6 GB).
+
+Paper reference (Phi-3-Medium, +0.5 ppl): dense 0.19 / 0.29 / 0.71 tok/s and
+DIP-CA 0.31 / 0.56 / 1.94 tok/s at 2 / 4 / 6 GB.  The reproduction target is
+that every method scales with DRAM and DIP-CA stays on top, with the largest
+relative gain at the largest DRAM size (more cache to exploit).
+"""
+
+from benchmarks.conftest import FAST, run_once, write_result
+from repro.engine.throughput import throughput_for_method
+from repro.eval.operating_point import find_operating_point
+from repro.eval.perplexity import perplexity
+from repro.eval.reporting import format_table
+from repro.hwsim.device import APPLE_A18
+from repro.hwsim.trace import SyntheticTraceConfig
+from repro.sparsity.registry import build_method
+from repro.utils.units import GB
+
+METHODS = ["glu", "up", "cats", "dip-ca"]
+DENSITIES = [0.35, 0.5, 0.65, 0.8] if not FAST else [0.4, 0.7]
+DRAM_SIZES_GB = (2.0, 4.0, 6.0)
+PPL_BUDGET = 0.5
+
+
+def _method(name, density):
+    return build_method(name, target_density=density, **({"gamma": 0.2} if name == "dip-ca" else {}))
+
+
+def run_table6(prepared, bench_settings, sim_tokens):
+    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
+
+    ppl_cache = {}
+    for name in METHODS:
+        ppls = []
+        for density in DENSITIES:
+            method = _method(name, density)
+            if method.requires_calibration:
+                method.calibrate(prepared.model, calib)
+            ppls.append(perplexity(prepared.model, eval_seqs, method))
+        ppl_cache[name] = ppls
+
+    rows = []
+    for dram_gb in DRAM_SIZES_GB:
+        device = APPLE_A18.with_dram(dram_gb * GB)
+        row = {"dram_gb": dram_gb}
+        row["dense"] = throughput_for_method(None, prepared.spec, device, n_tokens=sim_tokens,
+                                             trace_config=trace).tokens_per_second
+        for name in METHODS:
+            tputs = [
+                throughput_for_method(_method(name, d), prepared.spec, device, n_tokens=sim_tokens,
+                                      trace_config=trace).tokens_per_second
+                for d in DENSITIES
+            ]
+            op = find_operating_point(DENSITIES, ppl_cache[name], tputs, prepared.dense_ppl, PPL_BUDGET, name)
+            row[name] = op.tokens_per_second if op.feasible else None
+        rows.append(row)
+    return rows
+
+
+def test_table6_dram_ablation(benchmark, phi3_medium, bench_settings, sim_tokens, capsys):
+    rows = run_once(benchmark, lambda: run_table6(phi3_medium, bench_settings, sim_tokens))
+    text = format_table(rows, precision=3, title="Table 6 — throughput [tok/s] at +0.5 ppl vs DRAM size (Phi-3-Medium)")
+    write_result("table6_dram_ablation", text)
+    with capsys.disabled():
+        print("\n" + text)
+    # Throughput must increase with DRAM for dense and for DIP-CA.
+    dense = [row["dense"] for row in rows]
+    dipca = [row["dip-ca"] for row in rows if row["dip-ca"] is not None]
+    assert dense == sorted(dense)
+    assert dipca == sorted(dipca)
+    for row in rows:
+        if row["dip-ca"] is not None:
+            assert row["dip-ca"] > row["dense"]

@@ -1,0 +1,138 @@
+"""Shared experiment code for the table benchmarks (Tables 1, 3, 4, 5).
+
+The paper's accuracy tables share one protocol: fix a target MLP density,
+run every method on every model, report WikiText-2 perplexity and 5-shot
+MMLU accuracy (Table 5 swaps MMLU for a broader task suite).  This module
+implements that grid once over the simulation substrate; the individual
+``bench_table*.py`` files only choose the density / task set.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
+from repro.eval.accuracy import suite_accuracy, task_accuracy
+from repro.eval.harness import EvaluationSettings
+from repro.eval.perplexity import dense_perplexity, perplexity
+from repro.experiments.models import PreparedModel
+from repro.sparsity.registry import build_method
+from repro.training.distill import DistillationConfig, finetune_lora_distillation
+from repro.training.lora import LoRAConfig, attach_mlp_adapters, fuse_adapters
+
+#: Row order of the paper's Table 1 (minus rows that are model transforms).
+DYNAMIC_METHODS = ["glu-oracle", "gate", "up", "dejavu", "cats", "dip"]
+
+DEJAVU_KWARGS = {"predictor_hidden": 32, "predictor_epochs": 3}
+
+
+def _lora_variant(
+    prepared: PreparedModel,
+    method_name: str,
+    density: float,
+    settings: EvaluationSettings,
+    iterations: int,
+) -> "CausalLM":
+    """Return a copy of the model with LoRA adapters distilled and fused."""
+    matrices = ("up", "down") if method_name == "cats" else ("up", "gate", "down")
+    method = build_method(method_name, target_density=density, **({} if method_name != "dejavu" else DEJAVU_KWARGS))
+    if method.requires_calibration:
+        method.calibrate(prepared.model, prepared.calibration_sequences[: settings.calibration_sequences])
+    adapters = attach_mlp_adapters(prepared.model, LoRAConfig(rank=4, matrices=matrices, seed=0))
+    finetune_lora_distillation(
+        prepared.model,
+        method,
+        adapters,
+        prepared.splits.train,
+        DistillationConfig(iterations=iterations, batch_size=2, learning_rate=3e-3, log_every=0),
+    )
+    adapted = copy.deepcopy(prepared.model)
+    fuse_adapters(adapted, adapters)
+    return adapted
+
+
+def _sparsegpt_variant(prepared: PreparedModel, config: SparseGPTConfig, settings: EvaluationSettings):
+    model = copy.deepcopy(prepared.model)
+    sparsegpt_prune_model(model, prepared.calibration_sequences[: settings.calibration_sequences], config)
+    return model
+
+
+def accuracy_table(
+    prepared_models: Dict[str, PreparedModel],
+    density: float,
+    settings: EvaluationSettings,
+    include_static: bool = True,
+    include_lora: bool = True,
+    lora_iterations: int = 20,
+    task_names: Optional[Sequence[str]] = None,
+    static_variants: Sequence[str] = ("unstructured", "2:4", "4:8"),
+) -> List[Dict[str, object]]:
+    """One row per method, one (ppl, acc) column pair per model.
+
+    ``task_names=None`` evaluates the primary synthetic-MMLU task only;
+    otherwise the listed tasks from each model's suite are evaluated
+    (Table 5 mode, which reports accuracy only).
+    """
+    rows: Dict[str, Dict[str, object]] = {}
+
+    def record(method_label: str, model_name: str, ppl: float, acc) -> None:
+        row = rows.setdefault(method_label, {"method": method_label})
+        row[f"{model_name}:ppl"] = ppl
+        if isinstance(acc, dict):
+            for task, value in acc.items():
+                row[f"{model_name}:{task}"] = value
+        elif acc is not None:
+            row[f"{model_name}:acc"] = acc
+
+    for model_name, prepared in prepared_models.items():
+        eval_seqs = prepared.eval_sequences[: settings.max_eval_sequences]
+        calib = prepared.calibration_sequences[: settings.calibration_sequences]
+        tasks = (
+            {k: prepared.task_suite[k] for k in task_names} if task_names is not None else None
+        )
+
+        def evaluate(model, method) -> None:
+            ppl = perplexity(model, eval_seqs, method)
+            if tasks is not None:
+                acc = suite_accuracy(model, tasks, method=method, max_examples=settings.max_task_examples)
+            else:
+                acc = task_accuracy(model, prepared.primary_task, method=method,
+                                    max_examples=settings.max_task_examples)
+            return ppl, acc
+
+        ppl, acc = evaluate(prepared.model, None)
+        record("dense", model_name, ppl, acc)
+
+        if include_static:
+            catalogue = {
+                "unstructured": ("sparsegpt-unstructured", SparseGPTConfig(sparsity=1 - density, block_size=16)),
+                "2:4": ("sparsegpt-2:4", SparseGPTConfig(pattern_n=2, pattern_m=4, block_size=16)),
+                "4:8": ("sparsegpt-4:8", SparseGPTConfig(pattern_n=4, pattern_m=8, block_size=16)),
+            }
+            for variant in static_variants:
+                label, config = catalogue[variant]
+                pruned = _sparsegpt_variant(prepared, config, settings)
+                ppl, acc = evaluate(pruned, None)
+                record(label, model_name, ppl, acc)
+
+        for name in DYNAMIC_METHODS:
+            kwargs = DEJAVU_KWARGS if name == "dejavu" else {}
+            method = build_method(name, target_density=density, **kwargs)
+            if method.requires_calibration:
+                method.calibrate(prepared.model, calib)
+            ppl, acc = evaluate(prepared.model, method)
+            record(name, model_name, ppl, acc)
+
+        if include_lora:
+            for name in ("cats", "dip"):
+                adapted = _lora_variant(prepared, name, density, settings, lora_iterations)
+                method = build_method(name, target_density=density)
+                if method.requires_calibration:
+                    method.calibrate(adapted, calib)
+                ppl, acc = evaluate(adapted, method)
+                record(f"{name}+lora", model_name, ppl, acc)
+
+    return list(rows.values())

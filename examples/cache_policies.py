@@ -1,0 +1,60 @@
+"""Cache-policy study: LRU vs LFU vs Belady's oracle vs cache-aware masking.
+
+Reproduces the structure of the paper's Figure 11 at paper-scale geometry:
+for a fixed DRAM budget, compare the throughput of DIP under different DRAM
+cache eviction policies against DIP-CA (cache-aware masking with a plain LFU
+cache), across a range of MLP densities.
+
+Run:  python examples/cache_policies.py
+"""
+
+from __future__ import annotations
+
+from repro.engine import throughput_for_method
+from repro.eval.reporting import format_series
+from repro.hwsim import APPLE_A18, SyntheticTraceConfig
+from repro.nn import get_model_spec
+from repro.sparsity import CacheAwareDIP, DynamicInputPruning
+
+DENSITIES = (0.3, 0.45, 0.6, 0.75)
+
+
+def main() -> None:
+    spec = get_model_spec("phi3-medium")
+    device = APPLE_A18.with_dram(spec.table2_dram_bytes)
+    trace = SyntheticTraceConfig(n_tokens=24, seed=0)
+
+    series = {}
+    for policy in ("none", "lru", "lfu", "belady"):
+        series[f"dip/{policy}"] = [
+            throughput_for_method(
+                DynamicInputPruning(d), spec, device, n_tokens=24, cache_policy=policy, trace_config=trace
+            ).tokens_per_second
+            for d in DENSITIES
+        ]
+        print(f"simulated policy {policy}")
+    series["dip-ca/lfu"] = [
+        throughput_for_method(
+            CacheAwareDIP(d, gamma=0.2), spec, device, n_tokens=24, cache_policy="lfu", trace_config=trace
+        ).tokens_per_second
+        for d in DENSITIES
+    ]
+
+    print(
+        format_series(
+            DENSITIES,
+            series,
+            x_label="mlp_density",
+            precision=3,
+            title="\nSimulated throughput [tok/s] on Phi-3-Medium, 4 GB DRAM (Figure 11 structure)",
+        )
+    )
+    print(
+        "\nTakeaway: the eviction policy alone barely matters (even Belady's clairvoyant"
+        " oracle), while cache-aware masking changes *which* weights are requested and"
+        " beats every pure eviction policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Compare sparsification strategies on the accuracy / MLP-density Pareto front.
+
+Reproduces the structure of the paper's Figure 8 on the simulation-scale
+Phi-3-Medium model: for each dynamic-sparsity method, sweep the target MLP
+density and report perplexity and downstream (synthetic MMLU) accuracy; then
+print which method is Pareto-optimal at each density.
+
+Run:  python examples/sparsity_pareto.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval import EvaluationSettings, evaluate_method
+from repro.eval.reporting import format_series
+from repro.experiments import prepare_model
+from repro.experiments.models import FAST_PREPARATION
+from repro.sparsity import build_method
+from repro.utils.pareto import pareto_front_indices
+
+DENSITIES = (0.3, 0.4, 0.5, 0.7, 0.9)
+METHODS = ("glu-oracle", "dejavu", "cats", "up", "dip")
+
+
+def main() -> None:
+    prepared = prepare_model("phi3-medium", preparation=FAST_PREPARATION)
+    settings = EvaluationSettings(max_eval_sequences=8, max_task_examples=16, calibration_sequences=4)
+
+    ppl_series = {}
+    acc_series = {}
+    for name in METHODS:
+        ppls, accs = [], []
+        for density in DENSITIES:
+            kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
+            method = build_method(name, target_density=density, **kwargs)
+            result = evaluate_method(
+                prepared.model,
+                method,
+                prepared.eval_sequences,
+                calibration_sequences=prepared.calibration_sequences,
+                primary_task=prepared.primary_task,
+                settings=settings,
+                model_name=prepared.name,
+            )
+            ppls.append(result.perplexity)
+            accs.append(result.accuracy)
+        ppl_series[name] = ppls
+        acc_series[name] = accs
+        print(f"finished {name}")
+
+    print(format_series(DENSITIES, ppl_series, x_label="mlp_density", precision=3,
+                        title=f"\nPerplexity vs MLP density (dense = {prepared.dense_ppl:.3f})"))
+    print(format_series(DENSITIES, acc_series, x_label="mlp_density", precision=1,
+                        title="\nSynthetic-MMLU accuracy [%] vs MLP density"))
+
+    # Which (method, density) points are Pareto-optimal in (density, perplexity)?
+    points = [(d, ppl_series[m][i], m) for m in METHODS for i, d in enumerate(DENSITIES)]
+    front = pareto_front_indices([p[0] for p in points], [p[1] for p in points])
+    print("\nPareto-optimal (density, perplexity) points:")
+    for index in front:
+        density, ppl, method = points[index]
+        print(f"  density={density:.2f}  ppl={ppl:.3f}  method={method}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro — reproduction of "Efficient LLM Inference using Dynamic Input Pruning
+and Cache-Aware Masking" (MLSys 2025).
+
+The package is organised by subsystem:
+
+* :mod:`repro.autograd`, :mod:`repro.nn` — NumPy autodiff + SwiGLU transformer substrate
+* :mod:`repro.data` — synthetic corpora, tokenizer, downstream tasks
+* :mod:`repro.training` — LM pre-training, LoRA distillation, DejaVu predictors
+* :mod:`repro.sparsity` — DIP, DIP-CA and every dynamic-sparsity baseline
+* :mod:`repro.compression` — SparseGPT, GPTQ-style BQ, vector quantization
+* :mod:`repro.hwsim` — Flash/DRAM hardware simulator with LRU/LFU/Belady caches
+* :mod:`repro.engine` — sparse inference + throughput estimation
+* :mod:`repro.eval` — perplexity / accuracy / operating-point harness
+* :mod:`repro.experiments` — cached trained models and experiment assets
+"""
+
+__version__ = "0.1.0"
+
+from repro import autograd, compression, data, engine, eval, hwsim, nn, sparsity, training, utils
+
+__all__ = [
+    "autograd",
+    "compression",
+    "data",
+    "engine",
+    "eval",
+    "hwsim",
+    "nn",
+    "sparsity",
+    "training",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Minimal reverse-mode automatic differentiation engine on top of NumPy.
+
+This is the training substrate for the reproduction: the paper relies on
+PyTorch to (a) pre-train / load SwiGLU LLMs, (b) train DejaVu-style sparsity
+predictors with a cross-entropy loss, and (c) fine-tune LoRA adapters with a
+knowledge-distillation loss.  All three are implemented here on a small
+``Tensor`` type supporting broadcasting, matmul, reductions, indexing and the
+activation functions used by modern LLM blocks.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.functional import (
+    relu,
+    silu,
+    gelu,
+    sigmoid,
+    tanh,
+    softmax,
+    log_softmax,
+    cross_entropy,
+    mse_loss,
+    kl_divergence,
+    embedding_lookup,
+)
+from repro.autograd.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.autograd.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "relu",
+    "silu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "kl_divergence",
+    "embedding_lookup",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "numerical_gradient",
+    "check_gradients",
+]

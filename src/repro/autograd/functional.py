@@ -1,0 +1,220 @@
+"""Differentiable activation functions and losses built on :class:`Tensor`.
+
+These mirror the operations the paper's training recipes need: SiLU (the
+SwiGLU gate non-linearity), ReLU (for the ReLU-fied ablations), softmax /
+cross-entropy (LM training and DejaVu predictor training) and KL divergence
+(the knowledge-distillation loss used for LoRA fine-tuning).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    x = as_tensor(x)
+    mask = (x.data > 0).astype(x.data.dtype)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return x._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    x = as_tensor(x)
+    out_data = np.empty_like(x.data)
+    positive = x.data >= 0
+    out_data[positive] = 1.0 / (1.0 + np.exp(-x.data[positive]))
+    exp_x = np.exp(x.data[~positive])
+    out_data[~positive] = exp_x / (1.0 + exp_x)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return x._make(out_data, (x,), backward)
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish: ``x * sigmoid(x)`` — the SwiGLU gate non-linearity."""
+    x = as_tensor(x)
+    sig = sigmoid_array(x.data)
+    out_data = x.data * sig
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (sig + x.data * sig * (1.0 - sig)))
+
+    return x._make(out_data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    x = as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * (1.0 - out_data**2))
+
+    return x._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    x = as_tensor(x)
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data**3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        x._accumulate(grad * local)
+
+    return x._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with max-subtraction for stability."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return x._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    probs = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return x._make(out_data, (x,), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: Union[np.ndarray, Tensor],
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean token-level cross entropy.
+
+    ``logits`` has shape ``(..., vocab)`` and ``targets`` holds integer class
+    ids of shape ``(...)``.  Positions equal to ``ignore_index`` are excluded
+    from the mean.
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    flat_logp = log_probs.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not np.any(keep):
+            raise ValueError("all targets are ignore_index")
+        row_idx = np.flatnonzero(keep)
+        picked = flat_logp[row_idx, flat_targets[row_idx]]
+    else:
+        picked = flat_logp[np.arange(flat_targets.size), flat_targets]
+    return -(picked.mean())
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+    """Element-wise binary cross entropy on logits (mean reduced).
+
+    This is the loss used to train DejaVu-style sparsity predictors: the
+    targets mark which neurons are in the top-k activation set for each token.
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    probs = sigmoid(logits)
+    eps = 1e-12
+    loss = -(
+        Tensor(targets_arr) * (probs + eps).log()
+        + Tensor(1.0 - targets_arr) * (1.0 - probs + eps).log()
+    )
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def kl_divergence(student_logits: Tensor, teacher_logits: Union[np.ndarray, Tensor], temperature: float = 1.0) -> Tensor:
+    """KL(teacher || student) over the last axis, averaged over leading dims.
+
+    The knowledge-distillation loss used when fine-tuning LoRA adapters to
+    match the dense model's logits (Section 6.1 of the paper).
+    """
+    teacher = teacher_logits.data if isinstance(teacher_logits, Tensor) else np.asarray(teacher_logits)
+    teacher = teacher / temperature
+    teacher_shifted = teacher - teacher.max(axis=-1, keepdims=True)
+    teacher_probs = np.exp(teacher_shifted)
+    teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)
+    teacher_logp = np.log(teacher_probs + 1e-12)
+
+    student_logp = log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    pointwise = Tensor(teacher_probs) * (Tensor(teacher_logp) - student_logp)
+    per_position = pointwise.sum(axis=-1)
+    return per_position.mean() * (temperature**2)
+
+
+def embedding_lookup(weight: Tensor, token_ids: np.ndarray) -> Tensor:
+    """Differentiable row gather: ``weight[token_ids]``.
+
+    Gradients are scatter-added back into the embedding matrix rows.
+    """
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    out_data = weight.data[token_ids]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, token_ids.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+        weight._accumulate(full)
+
+    return weight._make(out_data, (weight,), backward)
+
+
+def sigmoid_array(x: np.ndarray) -> np.ndarray:
+    """Plain-NumPy numerically stable sigmoid (no autodiff)."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def silu_array(x: np.ndarray) -> np.ndarray:
+    """Plain-NumPy SiLU used on inference-only paths."""
+    return x * sigmoid_array(x)
+
+
+def softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Plain-NumPy softmax used on inference-only paths."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)

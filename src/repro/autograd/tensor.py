@@ -1,0 +1,452 @@
+"""The :class:`Tensor` type and its differentiable primitive operations.
+
+The implementation follows the standard define-by-run tape approach: every
+operation returns a new ``Tensor`` holding references to its parents and a
+closure that accumulates gradients into them.  ``Tensor.backward`` performs a
+topological sort of the recorded graph and runs the closures in reverse
+order.
+
+Only float64/float32 data participates in differentiation; integer tensors
+(token ids, masks used as constants) are carried as plain ``numpy`` arrays by
+callers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, reversing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were broadcast from size 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype and np.issubdtype(value.dtype, np.floating):
+            return value.astype(dtype)
+        if not np.issubdtype(value.dtype, np.floating):
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __array_priority__ = 100  # ensure Tensor.__rmul__ wins over ndarray ops
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ):
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = _parents if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    # --------------------------------------------------------------- helpers
+    @staticmethod
+    def _wrap(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(-grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Batched matrix multiplication with broadcasting over leading dims."""
+        other = self._wrap(other)
+        a, b = self.data, other.data
+        out_data = a @ b
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if b.ndim == 1:
+                    # (..., n) = (..., n, k) @ (k,) is not produced here since
+                    # a @ b with b 1-D contracts the last axis of a.
+                    grad_a = np.expand_dims(grad, -1) * b
+                else:
+                    grad_a = grad @ np.swapaxes(b, -1, -2)
+                if a.ndim == 1 and grad_a.ndim > 1:
+                    grad_a = grad_a.sum(axis=tuple(range(grad_a.ndim - 1)))
+                self._accumulate(grad_a)
+            if other.requires_grad:
+                if a.ndim == 1:
+                    grad_b = np.outer(a, grad) if b.ndim == 2 else a * grad
+                elif b.ndim == 1:
+                    grad_b = (a * np.expand_dims(grad, -1)).sum(axis=tuple(range(a.ndim - 1)))
+                else:
+                    grad_b = np.swapaxes(a, -1, -2) @ grad
+                other._accumulate(grad_b)
+
+        return self._make(out_data, (self, other), backward)
+
+    # -------------------------------------------------------------- unary ops
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self.__pow__(0.5)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * np.sign(self.data))
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            inside = (self.data >= low) & (self.data <= high)
+            self._accumulate(grad * inside)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            expanded = self.data.max(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(np.broadcast_to(g, self.data.shape) * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------ shape ops
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    # ----------------------------------------------------------- construction
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(slicer)])
+
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        if not requires:
+            return Tensor(out_data)
+        return Tensor(out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            pieces = np.split(grad, len(tensors), axis=axis)
+            for tensor, piece in zip(tensors, pieces):
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        if not requires:
+            return Tensor(out_data)
+        return Tensor(out_data, requires_grad=True, _parents=tuple(tensors), _backward=backward)
+
+    @staticmethod
+    def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    # -------------------------------------------------------------- backward
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs; a non-scalar output
+        requires an explicit seed gradient of the same shape.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() on non-scalar output requires an explicit gradient")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order of the recorded graph.
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def as_tensor(value: Union[Tensor, ArrayLike], requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)

@@ -1,0 +1,59 @@
+"""Static compression baselines: one-shot pruning and post-training quantization.
+
+The paper compares DIP against
+
+* **SparseGPT** (Frantar & Alistarh, 2023) — one-shot second-order pruning,
+  unstructured and semi-structured (2:4, 4:8); reproduced in
+  :mod:`repro.compression.sparsegpt` with the OBS pruning criterion and
+  error compensation on calibration activations.
+* **GPTQ / Blockwise Quantization (BQ)** — post-training uniform quantization
+  with second-order error compensation (:mod:`repro.compression.gptq`).
+* **GPTVQ / Vector Quantization (VQ)** — k-means codebook quantization of
+  weight sub-vectors (:mod:`repro.compression.vq`).
+* plain magnitude pruning (:mod:`repro.compression.magnitude`) as a sanity
+  baseline.
+
+All transforms operate on copies of a trained model's weights and report the
+memory footprint including the overheads the paper discusses (pruning masks:
+1 bit/weight; quantization scales; codebooks).
+"""
+
+from repro.compression.quantizer import (
+    QuantizationSpec,
+    quantize_tensor_uniform,
+    dequantize_uniform,
+    quantization_error,
+)
+from repro.compression.gptq import GPTQConfig, quantize_linear_gptq, quantize_model_blockwise
+from repro.compression.vq import VQConfig, kmeans_1d, quantize_linear_vq, quantize_model_vq
+from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_linear, sparsegpt_prune_model
+from repro.compression.magnitude import magnitude_prune_linear, magnitude_prune_model
+from repro.compression.footprint import (
+    model_memory_footprint,
+    quantized_model_bytes,
+    pruned_model_bytes,
+    FootprintReport,
+)
+
+__all__ = [
+    "QuantizationSpec",
+    "quantize_tensor_uniform",
+    "dequantize_uniform",
+    "quantization_error",
+    "GPTQConfig",
+    "quantize_linear_gptq",
+    "quantize_model_blockwise",
+    "VQConfig",
+    "kmeans_1d",
+    "quantize_linear_vq",
+    "quantize_model_vq",
+    "SparseGPTConfig",
+    "sparsegpt_prune_linear",
+    "sparsegpt_prune_model",
+    "magnitude_prune_linear",
+    "magnitude_prune_model",
+    "model_memory_footprint",
+    "quantized_model_bytes",
+    "pruned_model_bytes",
+    "FootprintReport",
+]

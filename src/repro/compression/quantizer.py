@@ -1,0 +1,93 @@
+"""Uniform affine quantization primitives."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.config import ConfigBase
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizationSpec(ConfigBase):
+    """Uniform quantizer description."""
+
+    bits: int = 4
+    #: Number of weights sharing one scale/offset pair (per output row).
+    block_size: int = 32
+    symmetric: bool = False
+
+    def __post_init__(self):
+        if not 2 <= self.bits <= 16:
+            raise ValueError("bits must lie in [2, 16]")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+    @property
+    def n_levels(self) -> int:
+        return 2**self.bits
+
+    def overhead_bits_per_weight(self, scale_bits: int = 16) -> float:
+        """Scale/offset storage amortised per weight."""
+        per_block = scale_bits * (1 if self.symmetric else 2)
+        return per_block / self.block_size
+
+
+def quantize_tensor_uniform(
+    values: np.ndarray, bits: int, symmetric: bool = False
+) -> Tuple[np.ndarray, float, float]:
+    """Quantize a 1-D block to ``bits`` uniform levels.
+
+    Returns ``(codes, scale, zero_point)`` such that
+    ``dequantize_uniform(codes, scale, zero_point)`` approximates ``values``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n_levels = 2**bits
+    if symmetric:
+        max_abs = np.abs(values).max()
+        scale = max_abs / (n_levels / 2 - 1) if max_abs > 0 else 1.0
+        zero_point = 0.0
+        codes = np.clip(np.round(values / scale), -(n_levels // 2), n_levels // 2 - 1)
+    else:
+        lo, hi = float(values.min()), float(values.max())
+        if hi <= lo:
+            hi = lo + 1e-8
+        scale = (hi - lo) / (n_levels - 1)
+        zero_point = lo
+        codes = np.clip(np.round((values - zero_point) / scale), 0, n_levels - 1)
+    return codes, float(scale), float(zero_point)
+
+
+def dequantize_uniform(codes: np.ndarray, scale: float, zero_point: float) -> np.ndarray:
+    """Map integer codes back to real values."""
+    return np.asarray(codes, dtype=np.float64) * scale + zero_point
+
+
+def quantize_blockwise_rtn(weight: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Round-to-nearest blockwise quantization of a 2-D weight matrix.
+
+    Blocks run along the input dimension of every output row; the returned
+    matrix holds the dequantized (fake-quantized) values.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError("expected a 2-D weight matrix")
+    out = np.empty_like(weight)
+    n_cols = weight.shape[1]
+    for row in range(weight.shape[0]):
+        for start in range(0, n_cols, spec.block_size):
+            block = weight[row, start : start + spec.block_size]
+            codes, scale, zero = quantize_tensor_uniform(block, spec.bits, spec.symmetric)
+            out[row, start : start + spec.block_size] = dequantize_uniform(codes, scale, zero)
+    return out
+
+
+def quantization_error(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Relative Frobenius error introduced by quantization."""
+    original = np.asarray(original, dtype=np.float64)
+    denom = np.linalg.norm(original)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(original - quantized) / denom)

@@ -1,0 +1,45 @@
+"""Synthetic data substrate.
+
+The paper evaluates on WikiText-2 (perplexity), SlimPajama (calibration /
+LoRA fine-tuning) and a suite of downstream tasks (MMLU, ARC, BoolQ,
+HellaSwag, PIQA, Winogrande, MGSM, MMLU-Pro).  None of those corpora are
+available offline, so this package provides seeded synthetic equivalents:
+
+* :mod:`repro.data.synthetic` — Markov-chain / Zipfian corpus generators with
+  enough predictive structure that language-model perplexity is a meaningful
+  (non-trivial, non-saturating) quantity.
+* :mod:`repro.data.tokenizer` — a small vocabulary tokenizer over the
+  synthetic symbol space.
+* :mod:`repro.data.datasets` — train / validation / test splits, batching.
+* :mod:`repro.data.tasks` — synthetic multiple-choice and cloze task
+  families standing in for the paper's downstream benchmarks.
+"""
+
+from repro.data.synthetic import SyntheticCorpusConfig, SyntheticCorpus, generate_corpus
+from repro.data.tokenizer import Tokenizer
+from repro.data.datasets import LMDataset, DataSplits, make_splits, iterate_batches
+from repro.data.tasks import (
+    TaskConfig,
+    TaskExample,
+    MultipleChoiceTask,
+    TASK_NAMES,
+    build_task,
+    build_task_suite,
+)
+
+__all__ = [
+    "SyntheticCorpusConfig",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "Tokenizer",
+    "LMDataset",
+    "DataSplits",
+    "make_splits",
+    "iterate_batches",
+    "TaskConfig",
+    "TaskExample",
+    "MultipleChoiceTask",
+    "TASK_NAMES",
+    "build_task",
+    "build_task_suite",
+]

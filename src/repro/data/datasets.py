@@ -1,0 +1,107 @@
+"""Language-modelling datasets and batching."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticCorpus, SyntheticCorpusConfig, generate_corpus
+from repro.data.tokenizer import Tokenizer
+from repro.utils.rng import new_rng
+
+
+class LMDataset:
+    """Fixed-length sequence chunks cut from a token stream."""
+
+    def __init__(self, tokens: np.ndarray, seq_len: int):
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ValueError("tokens must be a 1-D stream")
+        if seq_len < 2:
+            raise ValueError("seq_len must be at least 2")
+        self.seq_len = int(seq_len)
+        n_sequences = tokens.size // seq_len
+        if n_sequences == 0:
+            raise ValueError(f"stream of {tokens.size} tokens too short for seq_len={seq_len}")
+        self.sequences = tokens[: n_sequences * seq_len].reshape(n_sequences, seq_len)
+
+    def __len__(self) -> int:
+        return self.sequences.shape[0]
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.sequences[index]
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.sequences.size)
+
+
+@dataclasses.dataclass
+class DataSplits:
+    """Train / validation / test LM datasets plus the tokenizer used."""
+
+    train: LMDataset
+    validation: LMDataset
+    test: LMDataset
+    tokenizer: Tokenizer
+    corpus_config: SyntheticCorpusConfig
+
+    @property
+    def vocab_size(self) -> int:
+        return self.tokenizer.vocab_size
+
+
+def make_splits(
+    corpus: Optional[SyntheticCorpus] = None,
+    seq_len: int = 64,
+    train_fraction: float = 0.8,
+    val_fraction: float = 0.1,
+    **corpus_overrides,
+) -> DataSplits:
+    """Build the standard splits used by examples, tests and benchmarks.
+
+    ``corpus_overrides`` are forwarded to :func:`generate_corpus` when no
+    corpus is supplied (e.g. ``n_tokens=50_000, seed=1``).
+    """
+    if corpus is None:
+        corpus = generate_corpus(**corpus_overrides)
+    tokenizer = Tokenizer(vocab_size=corpus.config.vocab_size + len(Tokenizer.SPECIAL_TOKENS))
+    train_raw, val_raw, test_raw = corpus.split(train_fraction, val_fraction)
+    return DataSplits(
+        train=LMDataset(tokenizer.encode_corpus(train_raw), seq_len),
+        validation=LMDataset(tokenizer.encode_corpus(val_raw), seq_len),
+        test=LMDataset(tokenizer.encode_corpus(test_raw), seq_len),
+        tokenizer=tokenizer,
+        corpus_config=corpus.config,
+    )
+
+
+def iterate_batches(
+    dataset: LMDataset,
+    batch_size: int,
+    shuffle: bool = True,
+    seed=None,
+    drop_last: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield batches of shape ``(batch, seq_len)`` from an :class:`LMDataset`."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(dataset))
+    if shuffle:
+        new_rng(seed).shuffle(indices)
+    end = len(indices) - (len(indices) % batch_size) if drop_last else len(indices)
+    if drop_last and end == 0:
+        raise ValueError("dataset smaller than one batch with drop_last=True")
+    for start in range(0, end, batch_size):
+        batch_idx = indices[start : start + batch_size]
+        yield dataset.sequences[batch_idx]
+
+
+def calibration_batch(dataset: LMDataset, n_sequences: int, seed=None) -> np.ndarray:
+    """Sample a calibration batch (used for thresholds, SparseGPT, predictors)."""
+    rng = new_rng(seed)
+    n = min(n_sequences, len(dataset))
+    idx = rng.choice(len(dataset), size=n, replace=False)
+    return dataset.sequences[idx]

@@ -1,0 +1,230 @@
+"""Synthetic downstream tasks.
+
+The paper reports 5-shot accuracy on MMLU (Table 1) and on a broader suite
+(ARC-easy/challenge, BoolQ, HellaSwag, PIQA, Winogrande, MGSM, MMLU-Pro —
+Table 5).  Those benchmarks measure how much the pruned model's predictions
+drift from the dense model's.  The synthetic stand-ins here measure the same
+thing: each task presents a context drawn from the training distribution of
+the synthetic corpus and asks the model to score candidate continuations; the
+correct continuation is the most probable one under the corpus process, and
+distractors are low-probability continuations.
+
+Accuracy is computed exactly like the LM Evaluation Harness does for
+multiple-choice tasks: the candidate continuation with the highest (length
+normalised) model log-likelihood wins.
+
+Each paper task is mapped to a synthetic family with a different difficulty
+profile (continuation length, number of choices, distractor closeness) so
+that the reproduced Table 5 has the same structure as the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticCorpus, generate_corpus
+from repro.data.tokenizer import Tokenizer
+from repro.utils.config import ConfigBase
+from repro.utils.rng import new_rng, spawn_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskConfig(ConfigBase):
+    """Configuration of one synthetic multiple-choice task family."""
+
+    name: str
+    n_examples: int = 64
+    n_choices: int = 4
+    context_len: int = 32
+    continuation_len: int = 4
+    #: Number of in-context demonstrations (the paper uses 5-shot evaluation).
+    n_shots: int = 0
+    #: How "close" distractors are to plausible text: 0 = uniform random
+    #: tokens, 1 = sampled from the same corpus process (hardest).
+    distractor_difficulty: float = 0.5
+    seed: int = 1234
+
+
+@dataclasses.dataclass
+class TaskExample:
+    """One multiple-choice example: a context and candidate continuations."""
+
+    context: np.ndarray
+    choices: List[np.ndarray]
+    answer_index: int
+
+    def full_sequence(self, choice_index: int) -> np.ndarray:
+        """Context concatenated with the selected choice."""
+        return np.concatenate([self.context, self.choices[choice_index]])
+
+
+class MultipleChoiceTask:
+    """A generated set of multiple-choice examples over corpus text."""
+
+    def __init__(self, config: TaskConfig, examples: List[TaskExample], tokenizer: Tokenizer):
+        self.config = config
+        self.examples = examples
+        self.tokenizer = tokenizer
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __getitem__(self, index: int) -> TaskExample:
+        return self.examples[index]
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def random_baseline_accuracy(self) -> float:
+        """Accuracy of uniform random guessing."""
+        return 1.0 / self.config.n_choices
+
+
+#: Paper task -> synthetic family parameters.  Difficulty varies so the suite
+#: spans easy to hard tasks, as the real benchmarks do.
+TASK_NAMES: Dict[str, Dict[str, float]] = {
+    "mmlu": {"n_choices": 4, "continuation_len": 4, "distractor_difficulty": 0.6},
+    "arc-easy": {"n_choices": 4, "continuation_len": 3, "distractor_difficulty": 0.3},
+    "arc-challenge": {"n_choices": 4, "continuation_len": 4, "distractor_difficulty": 0.8},
+    "boolq": {"n_choices": 2, "continuation_len": 2, "distractor_difficulty": 0.4},
+    "hellaswag": {"n_choices": 4, "continuation_len": 6, "distractor_difficulty": 0.6},
+    "piqa": {"n_choices": 2, "continuation_len": 4, "distractor_difficulty": 0.5},
+    "winogrande": {"n_choices": 2, "continuation_len": 3, "distractor_difficulty": 0.7},
+    "mgsm": {"n_choices": 4, "continuation_len": 8, "distractor_difficulty": 0.9},
+    "mmlu-pro": {"n_choices": 4, "continuation_len": 6, "distractor_difficulty": 0.85},
+}
+
+
+def _sample_context(
+    corpus_tokens: np.ndarray, context_len: int, continuation_len: int, rng: np.random.Generator
+) -> tuple:
+    """Pick a random window from the corpus: (context, true continuation)."""
+    total = context_len + continuation_len
+    start = int(rng.integers(0, corpus_tokens.size - total - 1))
+    window = corpus_tokens[start : start + total]
+    return window[:context_len].copy(), window[context_len:].copy()
+
+
+def _sample_distractor(
+    corpus_tokens: np.ndarray,
+    continuation_len: int,
+    difficulty: float,
+    vocab_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample a distractor continuation.
+
+    With probability ``difficulty`` the distractor is a real corpus fragment
+    (hard: plausible but wrong); otherwise it is uniform noise (easy).
+    """
+    if rng.random() < difficulty:
+        start = int(rng.integers(0, corpus_tokens.size - continuation_len - 1))
+        return corpus_tokens[start : start + continuation_len].copy()
+    return rng.integers(0, vocab_size, size=continuation_len).astype(np.int64)
+
+
+def build_task(
+    name: str,
+    corpus: Optional[SyntheticCorpus] = None,
+    tokenizer: Optional[Tokenizer] = None,
+    n_examples: int = 64,
+    n_shots: int = 0,
+    seed: int = 1234,
+) -> MultipleChoiceTask:
+    """Build a synthetic task by (paper) name, e.g. ``"mmlu"`` or ``"piqa"``."""
+    if name not in TASK_NAMES:
+        raise KeyError(f"unknown task '{name}'; available: {sorted(TASK_NAMES)}")
+    params = TASK_NAMES[name]
+    config = TaskConfig(
+        name=name,
+        n_examples=n_examples,
+        n_choices=int(params["n_choices"]),
+        continuation_len=int(params["continuation_len"]),
+        distractor_difficulty=float(params["distractor_difficulty"]),
+        n_shots=n_shots,
+        seed=seed,
+    )
+    return build_task_from_config(config, corpus=corpus, tokenizer=tokenizer)
+
+
+def build_task_from_config(
+    config: TaskConfig,
+    corpus: Optional[SyntheticCorpus] = None,
+    tokenizer: Optional[Tokenizer] = None,
+) -> MultipleChoiceTask:
+    """Materialise the examples for a :class:`TaskConfig`."""
+    if corpus is None:
+        # When a tokenizer is supplied the corpus must fit inside its symbol space.
+        vocab = tokenizer.n_symbols if tokenizer is not None else None
+        corpus = generate_corpus(
+            n_tokens=50_000, seed=config.seed, **({"vocab_size": vocab} if vocab is not None else {})
+        )
+    if tokenizer is None:
+        tokenizer = Tokenizer(vocab_size=corpus.config.vocab_size + len(Tokenizer.SPECIAL_TOKENS))
+    corpus_ids = tokenizer.encode_corpus(corpus.tokens)
+    rng = new_rng(config.seed)
+    example_rng = spawn_rng(rng, f"task-{config.name}")
+
+    examples: List[TaskExample] = []
+    for _ in range(config.n_examples):
+        context_parts: List[np.ndarray] = []
+        # Few-shot demonstrations: correct (context, continuation) pairs
+        # separated by the SEP token, mimicking the harness prompt format.
+        for _shot in range(config.n_shots):
+            shot_ctx, shot_cont = _sample_context(
+                corpus_ids, config.context_len, config.continuation_len, example_rng
+            )
+            context_parts.extend([shot_ctx, shot_cont, np.asarray([tokenizer.sep_id])])
+        ctx, true_cont = _sample_context(
+            corpus_ids, config.context_len, config.continuation_len, example_rng
+        )
+        context_parts.append(ctx)
+        context = np.concatenate(context_parts) if len(context_parts) > 1 else ctx
+
+        choices = [true_cont]
+        while len(choices) < config.n_choices:
+            distractor = _sample_distractor(
+                corpus_ids,
+                config.continuation_len,
+                config.distractor_difficulty,
+                tokenizer.vocab_size,
+                example_rng,
+            )
+            if not any(np.array_equal(distractor, c) for c in choices):
+                choices.append(distractor)
+        answer_index = int(example_rng.integers(config.n_choices))
+        choices[0], choices[answer_index] = choices[answer_index], choices[0]
+        examples.append(TaskExample(context=context, choices=choices, answer_index=answer_index))
+    return MultipleChoiceTask(config, examples, tokenizer)
+
+
+def build_task_suite(
+    task_names: Optional[Sequence[str]] = None,
+    corpus: Optional[SyntheticCorpus] = None,
+    tokenizer: Optional[Tokenizer] = None,
+    n_examples: int = 64,
+    n_shots: int = 0,
+    seed: int = 1234,
+) -> Dict[str, MultipleChoiceTask]:
+    """Build several tasks sharing one corpus (the Table 5 suite by default)."""
+    names = list(task_names) if task_names is not None else list(TASK_NAMES)
+    if corpus is None:
+        vocab = tokenizer.n_symbols if tokenizer is not None else None
+        corpus = generate_corpus(
+            n_tokens=50_000, seed=seed, **({"vocab_size": vocab} if vocab is not None else {})
+        )
+    return {
+        name: build_task(
+            name,
+            corpus=corpus,
+            tokenizer=tokenizer,
+            n_examples=n_examples,
+            n_shots=n_shots,
+            seed=seed + index,
+        )
+        for index, name in enumerate(names)
+    }

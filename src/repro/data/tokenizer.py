@@ -1,0 +1,97 @@
+"""A small tokenizer over the synthetic symbol space.
+
+The synthetic corpora are already sequences of integer symbols; the tokenizer
+provides the usual text-like conveniences (special tokens, encode/decode of
+symbol strings) so examples and tasks can be expressed readably, and it fixes
+the id layout shared by all models trained in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+class Tokenizer:
+    """Maps symbol strings like ``"s17"`` to token ids and back.
+
+    Ids ``0..3`` are reserved for special tokens; the remaining ids map to
+    corpus symbols.  ``vocab_size`` is the total id space (specials included).
+    """
+
+    PAD = "<pad>"
+    BOS = "<bos>"
+    EOS = "<eos>"
+    SEP = "<sep>"
+    SPECIAL_TOKENS = (PAD, BOS, EOS, SEP)
+
+    def __init__(self, vocab_size: int = 256):
+        if vocab_size <= len(self.SPECIAL_TOKENS) + 1:
+            raise ValueError("vocab_size too small to hold special tokens and symbols")
+        self.vocab_size = int(vocab_size)
+        self._token_to_id: Dict[str, int] = {tok: i for i, tok in enumerate(self.SPECIAL_TOKENS)}
+        self.n_symbols = self.vocab_size - len(self.SPECIAL_TOKENS)
+        for symbol_index in range(self.n_symbols):
+            self._token_to_id[f"s{symbol_index}"] = len(self.SPECIAL_TOKENS) + symbol_index
+        self._id_to_token = {i: tok for tok, i in self._token_to_id.items()}
+
+    # ---------------------------------------------------------------- special
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[self.BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[self.EOS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.SEP]
+
+    # ----------------------------------------------------------------- encode
+    def symbol_to_id(self, symbol_index: int) -> int:
+        """Map a raw corpus symbol index (0-based) to a token id."""
+        if not 0 <= symbol_index < self.n_symbols:
+            raise ValueError(f"symbol index {symbol_index} out of range [0, {self.n_symbols})")
+        return len(self.SPECIAL_TOKENS) + int(symbol_index)
+
+    def id_to_symbol(self, token_id: int) -> int:
+        """Map a token id back to a raw corpus symbol index (or -1 for specials)."""
+        if token_id < len(self.SPECIAL_TOKENS):
+            return -1
+        return int(token_id) - len(self.SPECIAL_TOKENS)
+
+    def encode_symbols(self, symbols: Iterable[int], add_bos: bool = False) -> np.ndarray:
+        """Encode a sequence of raw corpus symbol indices to token ids."""
+        ids = [self.symbol_to_id(int(s)) for s in symbols]
+        if add_bos:
+            ids = [self.bos_id] + ids
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode(self, text: str, add_bos: bool = False) -> np.ndarray:
+        """Encode a whitespace-separated string of token names."""
+        ids: List[int] = [self.bos_id] if add_bos else []
+        for piece in text.split():
+            if piece not in self._token_to_id:
+                raise KeyError(f"unknown token '{piece}'")
+            ids.append(self._token_to_id[piece])
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Sequence[int]) -> str:
+        """Decode token ids to a whitespace-separated string of token names."""
+        return " ".join(self._id_to_token[int(i)] for i in ids)
+
+    def encode_corpus(self, corpus_tokens: np.ndarray) -> np.ndarray:
+        """Shift a raw synthetic-corpus stream into the tokenizer id space."""
+        tokens = np.asarray(corpus_tokens, dtype=np.int64)
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.n_symbols):
+            raise ValueError("corpus symbols exceed tokenizer symbol space")
+        return tokens + len(self.SPECIAL_TOKENS)
+
+    def __len__(self) -> int:
+        return self.vocab_size

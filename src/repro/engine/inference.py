@@ -1,0 +1,126 @@
+"""Running a model with a sparsity method active."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.transformer import CausalLM, TransformerBlock
+from repro.sparsity.base import MLPMasks, SparsityMethod, masks_mlp_density
+from repro.sparsity.cache_aware import CacheAwareDIP
+
+
+class MaskRecorder:
+    """Accumulates the per-layer masks produced while running sequences."""
+
+    def __init__(self, n_layers: int):
+        self.n_layers = n_layers
+        self._per_layer: List[List[MLPMasks]] = [[] for _ in range(n_layers)]
+
+    def record(self, layer_index: int, masks: MLPMasks) -> None:
+        self._per_layer[layer_index].append(masks)
+
+    def layer_masks(self, layer_index: int) -> MLPMasks:
+        """Concatenate all recorded masks of one layer along the token axis."""
+        chunks = self._per_layer[layer_index]
+        if not chunks:
+            raise ValueError(f"no masks recorded for layer {layer_index}")
+        down = np.concatenate([c.down_mask for c in chunks], axis=0)
+        first = chunks[0]
+
+        def cat(attr: str) -> Optional[np.ndarray]:
+            values = [getattr(c, attr) for c in chunks]
+            if values[0] is None:
+                return None
+            return np.concatenate(values, axis=0)
+
+        return MLPMasks(
+            down_mask=down,
+            input_mask=cat("input_mask"),
+            up_axis=first.up_axis,
+            up_mask=cat("up_mask"),
+            gate_axis=first.gate_axis,
+            gate_mask=cat("gate_mask"),
+        )
+
+    def all_layer_masks(self) -> List[MLPMasks]:
+        return [self.layer_masks(i) for i in range(self.n_layers)]
+
+    def mean_mlp_density(self, d_model: int, d_ffn: int) -> float:
+        """Average MLP density over all layers and tokens."""
+        densities = [masks_mlp_density(self.layer_masks(i), d_model, d_ffn) for i in range(self.n_layers)]
+        return float(np.mean(densities))
+
+
+class SparseInferenceEngine:
+    """Evaluate a model with an MLP sparsity method substituted in.
+
+    The engine uses the model's array (inference) path and replaces every
+    MLP call with ``method.sparse_forward``; attention, norms and embeddings
+    are untouched, exactly as in the paper.
+    """
+
+    def __init__(self, model: CausalLM, method: SparsityMethod, record_masks: bool = False):
+        self.model = model
+        self.method = method
+        self.recorder = MaskRecorder(len(model.blocks)) if record_masks else None
+
+    # ----------------------------------------------------------------- hooks
+    def _mlp_override(self, block: TransformerBlock, normed: np.ndarray) -> np.ndarray:
+        masks = self.method.compute_masks(block.mlp, block.layer_index, normed)
+        if self.recorder is not None:
+            self.recorder.record(block.layer_index, masks)
+        return self.method.sparse_forward(block.mlp, block.layer_index, normed, masks)
+
+    # ------------------------------------------------------------------- API
+    def reset(self) -> None:
+        """Reset any stateful components (the DIP-CA cache model)."""
+        if isinstance(self.method, CacheAwareDIP):
+            self.method.reset_cache()
+        if self.recorder is not None:
+            self.recorder = MaskRecorder(len(self.model.blocks))
+
+    def logits(self, token_ids: np.ndarray) -> np.ndarray:
+        """Logits for one sequence of token ids under the sparse model."""
+        return self.model.forward_array(np.asarray(token_ids, dtype=np.int64), mlp_override=self._mlp_override)
+
+    def sequence_log_likelihood(self, token_ids: np.ndarray, continuation_start: int = 1) -> float:
+        """Sum of next-token log-probabilities from ``continuation_start`` onward."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        logits = self.logits(token_ids[:-1])
+        log_probs = logits - _logsumexp(logits, axis=-1, keepdims=True)
+        targets = token_ids[1:]
+        picked = log_probs[np.arange(targets.size), targets]
+        return float(picked[continuation_start - 1 :].sum())
+
+    def perplexity(self, sequences: np.ndarray, max_sequences: Optional[int] = None) -> float:
+        """Token-level perplexity over a batch of sequences."""
+        sequences = np.atleast_2d(np.asarray(sequences, dtype=np.int64))
+        if max_sequences is not None:
+            sequences = sequences[:max_sequences]
+        total_nll = 0.0
+        total_tokens = 0
+        for sequence in sequences:
+            logits = self.logits(sequence[:-1])
+            log_probs = logits - _logsumexp(logits, axis=-1, keepdims=True)
+            targets = sequence[1:]
+            total_nll -= float(log_probs[np.arange(targets.size), targets].sum())
+            total_tokens += targets.size
+        return float(np.exp(total_nll / total_tokens))
+
+    def collect_masks(self, sequences: np.ndarray) -> List[MLPMasks]:
+        """Run sequences purely to record masks (for HW-simulator traces)."""
+        if self.recorder is None:
+            self.recorder = MaskRecorder(len(self.model.blocks))
+        sequences = np.atleast_2d(np.asarray(sequences, dtype=np.int64))
+        for sequence in sequences:
+            self.logits(sequence)
+        return self.recorder.all_layer_masks()
+
+
+def _logsumexp(x: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
+    m = x.max(axis=axis, keepdims=True)
+    out = m + np.log(np.exp(x - m).sum(axis=axis, keepdims=True))
+    return out if keepdims else np.squeeze(out, axis=axis)

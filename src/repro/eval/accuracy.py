@@ -1,0 +1,69 @@
+"""Multiple-choice task accuracy (the paper's MMLU / Table 5 metric).
+
+Scoring follows the LM Evaluation Harness convention for multiple-choice
+tasks: each candidate continuation is scored by its length-normalised
+log-likelihood given the context, and the highest-scoring candidate is the
+model's answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.data.tasks import MultipleChoiceTask
+from repro.engine.inference import SparseInferenceEngine
+from repro.nn.transformer import CausalLM
+from repro.sparsity.base import DenseBaseline, SparsityMethod
+
+
+def _choice_log_likelihood(engine: SparseInferenceEngine, context: np.ndarray, choice: np.ndarray) -> float:
+    """Length-normalised log-likelihood of ``choice`` after ``context``."""
+    sequence = np.concatenate([context, choice])
+    logits = engine.logits(sequence[:-1])
+    log_probs = logits - _logsumexp(logits)
+    targets = sequence[1:]
+    picked = log_probs[np.arange(targets.size), targets]
+    continuation = picked[len(context) - 1 :]
+    return float(continuation.mean())
+
+
+def task_accuracy(
+    model: CausalLM,
+    task: MultipleChoiceTask,
+    method: Optional[SparsityMethod] = None,
+    max_examples: Optional[int] = None,
+) -> float:
+    """Accuracy (percent) of the (possibly sparsified) model on one task."""
+    engine = SparseInferenceEngine(model, method if method is not None else DenseBaseline())
+    engine.reset()
+    examples = task.examples[:max_examples] if max_examples is not None else task.examples
+    if not examples:
+        raise ValueError("task has no examples")
+    correct = 0
+    for example in examples:
+        scores = [
+            _choice_log_likelihood(engine, example.context, choice) for choice in example.choices
+        ]
+        if int(np.argmax(scores)) == example.answer_index:
+            correct += 1
+    return 100.0 * correct / len(examples)
+
+
+def suite_accuracy(
+    model: CausalLM,
+    tasks: Dict[str, MultipleChoiceTask],
+    method: Optional[SparsityMethod] = None,
+    max_examples: Optional[int] = None,
+) -> Dict[str, float]:
+    """Accuracy on every task of a suite (the Table 5 layout)."""
+    return {
+        name: task_accuracy(model, task, method=method, max_examples=max_examples)
+        for name, task in tasks.items()
+    }
+
+
+def _logsumexp(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))

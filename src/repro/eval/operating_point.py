@@ -1,0 +1,89 @@
+"""Operating-point search: maximum throughput at a bounded perplexity increase.
+
+Table 2 (and Tables 6-7) report, per method and model, the highest throughput
+achievable while staying within +0.2 or +0.5 perplexity of the dense model.
+Because throughput rises monotonically as density falls while perplexity
+degrades, the search walks the density grid from sparse to dense, keeps the
+configurations that satisfy the perplexity budget, and returns the one with
+the highest simulated throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.config import ConfigBase
+
+
+@dataclasses.dataclass
+class OperatingPoint:
+    """Result of an operating-point search for one method."""
+
+    method_name: str
+    ppl_budget: float
+    density: Optional[float]
+    perplexity: Optional[float]
+    tokens_per_second: Optional[float]
+    feasible: bool
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "density": self.density if self.density is not None else float("nan"),
+            "perplexity": self.perplexity if self.perplexity is not None else float("nan"),
+            "tokens_per_second": self.tokens_per_second if self.tokens_per_second is not None else float("nan"),
+        }
+
+
+def find_operating_point(
+    densities: Sequence[float],
+    perplexities: Sequence[float],
+    throughputs: Sequence[float],
+    dense_perplexity: float,
+    ppl_increase: float,
+    method_name: str = "",
+) -> OperatingPoint:
+    """Pick the highest-throughput density whose perplexity fits the budget."""
+    densities = np.asarray(densities, dtype=np.float64)
+    perplexities = np.asarray(perplexities, dtype=np.float64)
+    throughputs = np.asarray(throughputs, dtype=np.float64)
+    if not (densities.shape == perplexities.shape == throughputs.shape):
+        raise ValueError("densities, perplexities, throughputs must have equal shapes")
+    budget = dense_perplexity + ppl_increase
+    feasible = perplexities <= budget
+    if not np.any(feasible):
+        return OperatingPoint(method_name, ppl_increase, None, None, None, feasible=False)
+    candidates = np.flatnonzero(feasible)
+    best = candidates[np.argmax(throughputs[candidates])]
+    return OperatingPoint(
+        method_name=method_name,
+        ppl_budget=ppl_increase,
+        density=float(densities[best]),
+        perplexity=float(perplexities[best]),
+        tokens_per_second=float(throughputs[best]),
+        feasible=True,
+    )
+
+
+def max_throughput_at_ppl_increase(
+    densities: Sequence[float],
+    perplexity_fn: Callable[[float], float],
+    throughput_fn: Callable[[float], float],
+    dense_perplexity: float,
+    ppl_increases: Sequence[float] = (0.2, 0.5),
+    method_name: str = "",
+) -> Dict[float, OperatingPoint]:
+    """Evaluate a density grid once and extract several operating points.
+
+    ``perplexity_fn`` and ``throughput_fn`` map a density to the respective
+    metric; they are called once per grid point (cache outside if expensive).
+    """
+    densities = list(densities)
+    ppls = [perplexity_fn(d) for d in densities]
+    tputs = [throughput_fn(d) for d in densities]
+    return {
+        increase: find_operating_point(densities, ppls, tputs, dense_perplexity, increase, method_name)
+        for increase in ppl_increases
+    }

@@ -1,0 +1,77 @@
+"""Plain-text report formatting: the tables and series the benchmarks print."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_value(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of row-dicts as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col), precision) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    x_label: str = "x",
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render several y-series against a shared x-axis (figure data dumps)."""
+    rows: List[Dict[str, object]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else None
+        rows.append(row)
+    return format_table(rows, precision=precision, title=title)
+
+
+def results_to_rows(results: Iterable, pivot: Optional[str] = None) -> List[Dict[str, object]]:
+    """Convert MethodEvaluation-like objects (with ``.row()``) into row dicts.
+
+    With ``pivot`` set to a column name (e.g. ``"model"``), rows sharing the
+    same ``method`` are merged and the pivoted column's values become columns
+    (matching the paper's method-by-model table layout).
+    """
+    raw = [r.row() if hasattr(r, "row") else dict(r) for r in results]
+    if pivot is None:
+        return raw
+    merged: Dict[str, Dict[str, object]] = {}
+    for row in raw:
+        method = str(row.get("method", "?"))
+        key_value = str(row.get(pivot, "?"))
+        merged.setdefault(method, {"method": method})
+        for metric in ("perplexity", "accuracy"):
+            if metric in row:
+                merged[method][f"{key_value}:{metric[:3]}"] = row[metric]
+    return list(merged.values())

@@ -1,0 +1,25 @@
+"""Prepared experiment assets: cached tiny models, data splits, and task suites.
+
+Training even the simulation-scale models takes tens of seconds, so every
+trained artifact (model weights, calibration data description) is cached on
+disk under ``.artifacts/`` keyed by its configuration hash.  Benchmarks,
+examples and slow tests all pull their models from here, which keeps repeat
+runs fast and deterministic.
+"""
+
+from repro.experiments.artifacts import ArtifactCache, default_artifact_dir
+from repro.experiments.models import (
+    PreparedModel,
+    PreparationConfig,
+    prepare_model,
+    prepare_paper_models,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "default_artifact_dir",
+    "PreparedModel",
+    "PreparationConfig",
+    "prepare_model",
+    "prepare_paper_models",
+]

@@ -1,0 +1,76 @@
+"""On-disk artifact cache for trained models and other expensive outputs."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.artifacts")
+
+_ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+
+def default_artifact_dir() -> Path:
+    """Artifact directory: ``$REPRO_ARTIFACT_DIR`` or ``<cwd>/.artifacts``."""
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.cwd() / ".artifacts"
+
+
+class ArtifactCache:
+    """Stores named NumPy state dicts plus JSON metadata."""
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_artifact_dir()
+
+    # ------------------------------------------------------------------ paths
+    def _state_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------- API
+    def has(self, key: str) -> bool:
+        return self._state_path(key).exists()
+
+    def save_state(self, key: str, state: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> Path:
+        """Persist a flat name → array mapping (and optional JSON metadata)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._state_path(key)
+        np.savez_compressed(path, **state)
+        if metadata is not None:
+            self._meta_path(key).write_text(json.dumps(metadata, indent=2, sort_keys=True))
+        logger.info("saved artifact %s (%d arrays)", key, len(state))
+        return path
+
+    def load_state(self, key: str) -> Dict[str, np.ndarray]:
+        """Load a previously saved state dict."""
+        path = self._state_path(key)
+        if not path.exists():
+            raise FileNotFoundError(f"no artifact '{key}' under {self.root}")
+        with np.load(path) as data:
+            return {name: data[name] for name in data.files}
+
+    def load_metadata(self, key: str) -> Optional[Dict]:
+        path = self._meta_path(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def delete(self, key: str) -> None:
+        for path in (self._state_path(key), self._meta_path(key)):
+            if path.exists():
+                path.unlink()
+
+    def keys(self) -> list:
+        if not self.root.exists():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.npz"))

@@ -1,0 +1,72 @@
+"""Hardware simulator (paper Appendix A).
+
+Models the memory system of a mobile SoC during LLM token generation:
+
+* a :class:`~repro.hwsim.device.DeviceSpec` describing DRAM capacity, DRAM
+  bandwidth and Flash read bandwidth (defaults mirror the paper's Apple-A18
+  setting: 60 GB/s DRAM, 1 GB/s Flash);
+* a :class:`~repro.hwsim.memory.WeightMemoryLayout` describing where the
+  model's bytes live — non-MLP weights and the KV cache are statically
+  resident (loaded from DRAM each token), MLP weights are demand-loaded at
+  neuron/column granularity;
+* vectorised DRAM cache policies (:mod:`repro.hwsim.cache`): none, LRU, LFU
+  and the Belady oracle;
+* per-token access traces (:mod:`repro.hwsim.trace`), either recorded from a
+  real model run or synthesised at paper scale from activation statistics;
+* the :class:`~repro.hwsim.simulator.HWSimulator` that replays a trace
+  through the cache hierarchy and converts bytes moved into per-token
+  latency — compute time is not modelled, matching the paper's observation
+  that token generation is memory-bound.
+"""
+
+from repro.hwsim.device import DeviceSpec, DEVICE_PRESETS, get_device, APPLE_A18
+from repro.hwsim.cache import (
+    GroupCache,
+    NoCache,
+    LRUCache,
+    LFUCache,
+    BeladyCache,
+    CACHE_POLICIES,
+    build_cache,
+)
+from repro.hwsim.memory import (
+    WeightGroup,
+    WeightMemoryLayout,
+    MethodMemoryModel,
+    build_layout,
+)
+from repro.hwsim.trace import (
+    GroupTrace,
+    AccessTrace,
+    SyntheticTraceConfig,
+    synthesize_trace,
+    trace_from_masks,
+)
+from repro.hwsim.simulator import HWSimulator, SimulationConfig, SimulationResult, simulate_dense_baseline
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICE_PRESETS",
+    "get_device",
+    "APPLE_A18",
+    "GroupCache",
+    "NoCache",
+    "LRUCache",
+    "LFUCache",
+    "BeladyCache",
+    "CACHE_POLICIES",
+    "build_cache",
+    "WeightGroup",
+    "WeightMemoryLayout",
+    "MethodMemoryModel",
+    "build_layout",
+    "GroupTrace",
+    "AccessTrace",
+    "SyntheticTraceConfig",
+    "synthesize_trace",
+    "trace_from_masks",
+    "HWSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_dense_baseline",
+]

@@ -1,0 +1,94 @@
+"""Device specifications for the hardware simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.utils.config import ConfigBase
+from repro.utils.units import GB
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec(ConfigBase):
+    """Memory-system parameters of a simulated mobile device.
+
+    Only the memory system matters for token generation (paper Appendix A):
+    NPU compute is assumed to overlap with, and be dominated by, memory
+    traffic.
+    """
+
+    name: str
+    #: DRAM available to the LLM (after OS / other apps), in bytes.
+    dram_capacity_bytes: float
+    #: Sustained DRAM read bandwidth in bytes/second.
+    dram_bandwidth: float
+    #: Sustained Flash (UFS / NVMe) read bandwidth in bytes/second.
+    flash_read_bandwidth: float
+
+    def __post_init__(self):
+        if self.dram_capacity_bytes < 0:
+            raise ValueError("dram_capacity_bytes must be non-negative")
+        if self.dram_bandwidth <= 0 or self.flash_read_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def with_dram(self, capacity_bytes: float) -> "DeviceSpec":
+        """Copy of the spec with a different DRAM capacity."""
+        return self.replace(dram_capacity_bytes=float(capacity_bytes))
+
+    def with_flash_bandwidth(self, bandwidth: float) -> "DeviceSpec":
+        """Copy of the spec with a different Flash read bandwidth."""
+        return self.replace(flash_read_bandwidth=float(bandwidth))
+
+    def transfer_latency(self, dram_bytes: float, flash_bytes: float) -> float:
+        """Seconds needed to move the given byte counts (no overlap modelled)."""
+        return dram_bytes / self.dram_bandwidth + flash_bytes / self.flash_read_bandwidth
+
+
+#: The paper's default setting (Apple A18-class: 60 GB/s DRAM I/O, 1 GB/s Flash).
+APPLE_A18 = DeviceSpec(
+    name="apple-a18",
+    dram_capacity_bytes=4.0 * GB,
+    dram_bandwidth=60.0 * GB,
+    flash_read_bandwidth=1.0 * GB,
+)
+
+#: Snapdragon 8s Gen 3-class device (similar memory system, Appendix A).
+SNAPDRAGON_8S_GEN3 = DeviceSpec(
+    name="snapdragon-8s-gen3",
+    dram_capacity_bytes=4.0 * GB,
+    dram_bandwidth=64.0 * GB,
+    flash_read_bandwidth=1.0 * GB,
+)
+
+#: Budget device used in the DRAM-size ablation (Table 6, 2 GB column).
+BUDGET_PHONE = DeviceSpec(
+    name="budget-phone",
+    dram_capacity_bytes=2.0 * GB,
+    dram_bandwidth=30.0 * GB,
+    flash_read_bandwidth=0.5 * GB,
+)
+
+#: High-end device used in the DRAM-size ablation (Table 6, 6 GB column).
+FLAGSHIP_PHONE = DeviceSpec(
+    name="flagship-phone",
+    dram_capacity_bytes=6.0 * GB,
+    dram_bandwidth=68.0 * GB,
+    flash_read_bandwidth=2.0 * GB,
+)
+
+DEVICE_PRESETS: Dict[str, DeviceSpec] = {
+    spec.name: spec for spec in (APPLE_A18, SNAPDRAGON_8S_GEN3, BUDGET_PHONE, FLAGSHIP_PHONE)
+}
+
+
+def list_devices() -> List[str]:
+    """Names of all registered device presets."""
+    return sorted(DEVICE_PRESETS)
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by name."""
+    if name not in DEVICE_PRESETS:
+        raise KeyError(f"unknown device '{name}'; available: {list_devices()}")
+    return DEVICE_PRESETS[name]

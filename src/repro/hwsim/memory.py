@@ -1,0 +1,242 @@
+"""Weight memory layout: what lives where, and in which transferable units.
+
+Follows the paper's Appendix A allocation scheme:
+
+* everything that is needed for every token — attention weights, embeddings,
+  norms, the KV cache, and any method-specific auxiliary structures
+  (predictors, pruning masks) — is *statically* allocated and charged as a
+  DRAM read on every token (or a Flash read for the part that does not fit);
+* the gated-MLP weights are demand-loaded at column granularity and cached in
+  whatever DRAM remains, split uniformly across layers.
+
+A :class:`WeightGroup` is the unit pool the cache policies operate on: one
+layer × one matrix × one slicing axis, with all units equally sized.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.transformer import TransformerConfig
+from repro.sparsity.base import SparsityMethod
+from repro.utils.config import ConfigBase
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightGroup(ConfigBase):
+    """One cacheable pool of equally sized weight units."""
+
+    layer_index: int
+    matrix: str  # "up" | "gate" | "down"
+    axis: str  # "input" | "neuron"
+    n_units: int
+    unit_bytes: float
+    #: Average fraction of units accessed per token; ``None`` = dense (all).
+    keep_fraction: Optional[float] = None
+
+    def __post_init__(self):
+        if self.matrix not in ("up", "gate", "down"):
+            raise ValueError(f"invalid matrix '{self.matrix}'")
+        if self.axis not in ("input", "neuron"):
+            raise ValueError(f"invalid axis '{self.axis}'")
+        if self.n_units <= 0 or self.unit_bytes <= 0:
+            raise ValueError("n_units and unit_bytes must be positive")
+        if self.keep_fraction is not None and not 0.0 <= self.keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must lie in [0, 1]")
+
+    @property
+    def total_bytes(self) -> float:
+        return self.n_units * self.unit_bytes
+
+    @property
+    def key(self) -> Tuple[int, str]:
+        return (self.layer_index, self.matrix)
+
+    @property
+    def is_dense(self) -> bool:
+        return self.keep_fraction is None
+
+    @property
+    def average_active_units(self) -> float:
+        if self.is_dense:
+            return float(self.n_units)
+        return self.keep_fraction * self.n_units
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodMemoryModel(ConfigBase):
+    """Per-matrix read pattern of a sparsity method plus static overheads."""
+
+    method_name: str
+    #: matrix -> (axis, keep_fraction or None for dense)
+    plan: Dict[str, Tuple[str, Optional[float]]]
+    #: Extra statically resident bytes introduced by the method (predictors,
+    #: pruning masks, ...).
+    extra_static_bytes: float = 0.0
+
+    @classmethod
+    def from_method(
+        cls,
+        method: SparsityMethod,
+        config: TransformerConfig,
+        bits_per_weight: float = 4.0,
+    ) -> "MethodMemoryModel":
+        """Derive the memory model from a sparsity method instance.
+
+        Predictor-based methods (DejaVu) contribute their predictor parameters
+        as static overhead; the predictors are assumed to be stored at the
+        same bit-width as the model weights.
+        """
+        raw_plan = method.memory_plan()
+        plan: Dict[str, Tuple[str, Optional[float]]] = {}
+        for matrix in ("up", "gate", "down"):
+            axis, keep = raw_plan.get(matrix, ("dense", None))
+            if axis == "dense":
+                plan[matrix] = ("input" if matrix != "down" else "neuron", None)
+            else:
+                plan[matrix] = (axis, float(keep) if keep is not None else None)
+        extra = 0.0
+        if hasattr(method, "predictor_parameter_overhead"):
+            per_layer = method.predictor_parameter_overhead(config.d_model, config.d_ffn)
+            extra = per_layer * config.n_layers * bits_per_weight / 8.0
+        return cls(method_name=method.name, plan=plan, extra_static_bytes=extra)
+
+    @classmethod
+    def dense(cls) -> "MethodMemoryModel":
+        """Memory model of the unsparsified baseline."""
+        return cls(
+            method_name="dense",
+            plan={"up": ("input", None), "gate": ("input", None), "down": ("neuron", None)},
+        )
+
+
+@dataclasses.dataclass
+class WeightMemoryLayout:
+    """Byte-level layout of one model under one sparsity method."""
+
+    config: TransformerConfig
+    memory_model: MethodMemoryModel
+    bits_per_weight: float = 4.0
+    kv_cache_bytes_per_element: float = 2.0
+    kv_cache_seq_len: Optional[int] = None
+
+    def __post_init__(self):
+        if self.bits_per_weight <= 0:
+            raise ValueError("bits_per_weight must be positive")
+        self._groups = self._build_groups()
+
+    # ------------------------------------------------------------ static part
+    @property
+    def bytes_per_weight(self) -> float:
+        return self.bits_per_weight / 8.0
+
+    def kv_cache_bytes(self) -> float:
+        """KV cache footprint at the configured (or maximum) sequence length."""
+        seq_len = self.kv_cache_seq_len or self.config.max_seq_len
+        head_dim = self.config.d_model // self.config.n_heads
+        per_layer = 2.0 * self.config.n_kv_heads * head_dim * seq_len * self.kv_cache_bytes_per_element
+        return per_layer * self.config.n_layers
+
+    def static_weight_bytes(self) -> float:
+        """Attention + embedding + norm weights (always resident / streamed)."""
+        non_mlp = self.config.total_parameters() - self.config.mlp_parameters()
+        return non_mlp * self.bytes_per_weight
+
+    def static_bytes(self) -> float:
+        """All statically allocated bytes charged on every token."""
+        return self.static_weight_bytes() + self.kv_cache_bytes() + self.memory_model.extra_static_bytes
+
+    # --------------------------------------------------------------- MLP part
+    def _build_groups(self) -> List[WeightGroup]:
+        d_model, d_ffn = self.config.d_model, self.config.d_ffn
+        groups: List[WeightGroup] = []
+        for layer_index in range(self.config.n_layers):
+            for matrix in ("up", "gate", "down"):
+                axis, keep = self.memory_model.plan[matrix]
+                if matrix == "down":
+                    axis = "neuron"
+                if axis == "input":
+                    n_units, unit_elems = d_model, d_ffn
+                else:
+                    n_units, unit_elems = d_ffn, d_model
+                groups.append(
+                    WeightGroup(
+                        layer_index=layer_index,
+                        matrix=matrix,
+                        axis=axis,
+                        n_units=n_units,
+                        unit_bytes=unit_elems * self.bytes_per_weight,
+                        keep_fraction=keep,
+                    )
+                )
+        return groups
+
+    @property
+    def groups(self) -> List[WeightGroup]:
+        return self._groups
+
+    def mlp_bytes(self) -> float:
+        """Total MLP weight bytes."""
+        return float(sum(g.total_bytes for g in self._groups))
+
+    def total_model_bytes(self) -> float:
+        """Static weights + MLP weights (KV cache excluded)."""
+        return self.static_weight_bytes() + self.mlp_bytes() + self.memory_model.extra_static_bytes
+
+    def average_active_mlp_bytes(self) -> float:
+        """Average MLP bytes touched per token under the method's plan."""
+        return float(sum(g.average_active_units * g.unit_bytes for g in self._groups))
+
+    def average_mlp_density(self) -> float:
+        """MLP density implied by the memory plan (matches the paper metric)."""
+        return self.average_active_mlp_bytes() / self.mlp_bytes()
+
+    # ------------------------------------------------------------- allocation
+    def cache_allocation(self, dram_capacity_bytes: float) -> Dict[Tuple[int, str], int]:
+        """Per-group cache capacities (in units) for a DRAM budget.
+
+        Whatever DRAM remains after the static allocation is split across
+        groups proportionally to their total byte size (uniform across layers,
+        as in the paper), then converted to whole units.
+        """
+        budget = max(0.0, dram_capacity_bytes - self.static_bytes())
+        total = self.mlp_bytes()
+        allocation: Dict[Tuple[int, str], int] = {}
+        for group in self._groups:
+            group_budget = budget * (group.total_bytes / total)
+            allocation[(group.layer_index, group.matrix)] = int(group_budget // group.unit_bytes)
+        return allocation
+
+    def describe(self) -> Dict[str, float]:
+        """Summary of the layout in bytes (for reports and tests)."""
+        return {
+            "static_weight_bytes": self.static_weight_bytes(),
+            "kv_cache_bytes": self.kv_cache_bytes(),
+            "extra_static_bytes": self.memory_model.extra_static_bytes,
+            "mlp_bytes": self.mlp_bytes(),
+            "total_model_bytes": self.total_model_bytes(),
+            "average_mlp_density": self.average_mlp_density(),
+        }
+
+
+def build_layout(
+    config: TransformerConfig,
+    method: Optional[SparsityMethod] = None,
+    bits_per_weight: float = 4.0,
+    kv_cache_seq_len: Optional[int] = None,
+) -> WeightMemoryLayout:
+    """Convenience constructor: layout for ``config`` under ``method`` (dense if None)."""
+    memory_model = (
+        MethodMemoryModel.dense()
+        if method is None
+        else MethodMemoryModel.from_method(method, config, bits_per_weight)
+    )
+    return WeightMemoryLayout(
+        config=config,
+        memory_model=memory_model,
+        bits_per_weight=bits_per_weight,
+        kv_cache_seq_len=kv_cache_seq_len,
+    )

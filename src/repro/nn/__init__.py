@@ -1,0 +1,56 @@
+"""Neural-network modules: the SwiGLU transformer substrate.
+
+These modules implement the LLM architecture the paper targets (Section 3):
+alternating grouped-query attention and SwiGLU MLP blocks with RMSNorm and
+rotary position embeddings.  A ReLU MLP variant is included for the
+"ReLU-fied" comparisons (TurboSparse-style models in Figures 3 and 6).
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.norm import RMSNorm, LayerNorm
+from repro.nn.activations import SiLU, ReLU, GELU, Identity, get_activation
+from repro.nn.mlp import GLUMLPConfig, SwiGLUMLP, ReLUGLUMLP, DenseMLP
+from repro.nn.attention import AttentionConfig, GroupedQueryAttention, KVCache, RotaryEmbedding
+from repro.nn.transformer import TransformerConfig, TransformerBlock, CausalLM
+from repro.nn.model_zoo import (
+    ModelSpec,
+    PAPER_MODELS,
+    SIM_MODELS,
+    get_model_spec,
+    build_model,
+    list_models,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+    "LayerNorm",
+    "SiLU",
+    "ReLU",
+    "GELU",
+    "Identity",
+    "get_activation",
+    "GLUMLPConfig",
+    "SwiGLUMLP",
+    "ReLUGLUMLP",
+    "DenseMLP",
+    "AttentionConfig",
+    "GroupedQueryAttention",
+    "KVCache",
+    "RotaryEmbedding",
+    "TransformerConfig",
+    "TransformerBlock",
+    "CausalLM",
+    "ModelSpec",
+    "PAPER_MODELS",
+    "SIM_MODELS",
+    "get_model_spec",
+    "build_model",
+    "list_models",
+]

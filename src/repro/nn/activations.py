@@ -1,0 +1,80 @@
+"""Activation-function modules.
+
+The SwiGLU gate non-linearity (SiLU) and its ReLU replacement are the pivot of
+the paper: ReLU produces natural activation sparsity that predictors can
+exploit (DejaVu), while SiLU does not (Section 3, Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class SiLU(Module):
+    """SiLU (swish) activation: ``x * sigmoid(x)``."""
+
+    name = "silu"
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.silu(x)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        return F.silu_array(x)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    name = "gelu"
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        c = np.sqrt(2.0 / np.pi)
+        return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+class Identity(Module):
+    """No-op activation."""
+
+    name = "identity"
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+
+_ACTIVATIONS = {
+    "silu": SiLU,
+    "swish": SiLU,
+    "relu": ReLU,
+    "gelu": GELU,
+    "identity": Identity,
+}
+
+
+def get_activation(name: str) -> Module:
+    """Instantiate an activation module by name (``silu``, ``relu``, ``gelu``)."""
+    key = name.lower()
+    if key not in _ACTIVATIONS:
+        raise KeyError(f"unknown activation '{name}'; available: {sorted(_ACTIVATIONS)}")
+    return _ACTIVATIONS[key]()

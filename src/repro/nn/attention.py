@@ -1,0 +1,230 @@
+"""Grouped-query attention with rotary position embeddings and a KV cache."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils.config import ConfigBase
+from repro.utils.rng import new_rng, spawn_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class AttentionConfig(ConfigBase):
+    """Configuration of a grouped-query attention block."""
+
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    rope_base: float = 10000.0
+    max_seq_len: int = 2048
+
+    def __post_init__(self):
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be divisible by n_kv_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def group_size(self) -> int:
+        return self.n_heads // self.n_kv_heads
+
+
+class RotaryEmbedding:
+    """Pre-computed rotary position embedding tables."""
+
+    def __init__(self, head_dim: int, max_seq_len: int, base: float = 10000.0):
+        if head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        positions = np.arange(max_seq_len)[:, None]
+        freqs = base ** (-np.arange(0, head_dim, 2) / head_dim)[None, :]
+        angles = positions * freqs  # (seq, head_dim/2)
+        self.cos = np.cos(angles)
+        self.sin = np.sin(angles)
+
+    def rotate(self, x: np.ndarray, position_offset: int = 0) -> np.ndarray:
+        """Apply rotary embedding to ``x`` of shape ``(..., seq, head_dim)``."""
+        seq_len = x.shape[-2]
+        if position_offset + seq_len > self.max_seq_len:
+            raise ValueError("sequence exceeds RoPE table length")
+        cos = self.cos[position_offset : position_offset + seq_len]
+        sin = self.sin[position_offset : position_offset + seq_len]
+        x_even = x[..., 0::2]
+        x_odd = x[..., 1::2]
+        rotated = np.empty_like(x)
+        rotated[..., 0::2] = x_even * cos - x_odd * sin
+        rotated[..., 1::2] = x_even * sin + x_odd * cos
+        return rotated
+
+
+class KVCache:
+    """Per-layer key/value cache used during autoregressive decoding."""
+
+    def __init__(self, n_kv_heads: int, head_dim: int, max_seq_len: int):
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.max_seq_len = max_seq_len
+        self.keys = np.zeros((n_kv_heads, max_seq_len, head_dim))
+        self.values = np.zeros((n_kv_heads, max_seq_len, head_dim))
+        self.length = 0
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append new keys/values of shape ``(n_kv_heads, t, head_dim)``.
+
+        Returns views of the full cached keys/values up to the new length.
+        """
+        t = keys.shape[1]
+        if self.length + t > self.max_seq_len:
+            raise RuntimeError("KV cache overflow")
+        self.keys[:, self.length : self.length + t] = keys
+        self.values[:, self.length : self.length + t] = values
+        self.length += t
+        return self.keys[:, : self.length], self.values[:, : self.length]
+
+    def reset(self) -> None:
+        self.length = 0
+
+    def memory_bytes(self, bytes_per_element: float = 2.0) -> float:
+        """Approximate KV-cache footprint (fp16 by default)."""
+        return 2.0 * self.n_kv_heads * self.max_seq_len * self.head_dim * bytes_per_element
+
+
+class GroupedQueryAttention(Module):
+    """Multi-head attention with grouped (shared) key/value heads.
+
+    The paper does not sparsify attention; it is included because the HW
+    simulator must account for attention weights and KV cache being resident
+    in DRAM (Appendix A) and because the tiny models need full transformer
+    blocks to produce realistic activation statistics.
+    """
+
+    def __init__(self, config: AttentionConfig, seed=None):
+        super().__init__()
+        self.config = config
+        rng = new_rng(seed)
+        d = config.d_model
+        kv_dim = config.n_kv_heads * config.head_dim
+        self.q_proj = Linear(d, d, seed=spawn_rng(rng, "q"))
+        self.k_proj = Linear(d, kv_dim, seed=spawn_rng(rng, "k"))
+        self.v_proj = Linear(d, kv_dim, seed=spawn_rng(rng, "v"))
+        self.o_proj = Linear(d, d, seed=spawn_rng(rng, "o"))
+        self.rope = RotaryEmbedding(config.head_dim, config.max_seq_len, config.rope_base)
+
+    # ---------------------------------------------------------------- training
+    def forward(self, x: Tensor) -> Tensor:
+        """Causal self-attention over a full sequence (training path).
+
+        ``x`` has shape ``(batch, seq, d_model)``.
+        """
+        batch, seq, d = x.shape
+        cfg = self.config
+        q = self.q_proj(x).reshape(batch, seq, cfg.n_heads, cfg.head_dim)
+        k = self.k_proj(x).reshape(batch, seq, cfg.n_kv_heads, cfg.head_dim)
+        v = self.v_proj(x).reshape(batch, seq, cfg.n_kv_heads, cfg.head_dim)
+
+        # (batch, heads, seq, head_dim)
+        q = q.transpose(0, 2, 1, 3)
+        k = k.transpose(0, 2, 1, 3)
+        v = v.transpose(0, 2, 1, 3)
+
+        # Rotary embedding is a constant linear map of the inputs, so applying
+        # it to the underlying data (constant cos/sin) keeps the graph valid.
+        q = _apply_rope_tensor(q, self.rope)
+        k = _apply_rope_tensor(k, self.rope)
+
+        # Expand KV heads to match query heads (grouped-query attention).
+        if cfg.group_size > 1:
+            k = _repeat_kv(k, cfg.group_size)
+            v = _repeat_kv(v, cfg.group_size)
+
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        scores = q.matmul(k.swapaxes(-1, -2)) * scale
+        causal = np.triu(np.full((seq, seq), -1e9), k=1)
+        scores = scores + causal
+        weights = F.softmax(scores, axis=-1)
+        context = weights.matmul(v)  # (batch, heads, seq, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, d)
+        return self.o_proj(context)
+
+    # --------------------------------------------------------------- inference
+    def forward_array(self, x: np.ndarray, kv_cache: Optional[KVCache] = None) -> np.ndarray:
+        """Inference path on plain arrays, optionally using a KV cache.
+
+        ``x`` has shape ``(seq, d_model)`` (single sequence).  With a cache the
+        call processes ``seq`` new tokens appended after the cached prefix.
+        """
+        cfg = self.config
+        seq = x.shape[0]
+        offset = kv_cache.length if kv_cache is not None else 0
+
+        q = self.q_proj.forward_array(x).reshape(seq, cfg.n_heads, cfg.head_dim).transpose(1, 0, 2)
+        k = self.k_proj.forward_array(x).reshape(seq, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        v = self.v_proj.forward_array(x).reshape(seq, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+
+        q = self.rope.rotate(q, position_offset=offset)
+        k = self.rope.rotate(k, position_offset=offset)
+
+        if kv_cache is not None:
+            k_all, v_all = kv_cache.append(k, v)
+        else:
+            k_all, v_all = k, v
+        total = k_all.shape[1]
+
+        if cfg.group_size > 1:
+            k_all = np.repeat(k_all, cfg.group_size, axis=0)
+            v_all = np.repeat(v_all, cfg.group_size, axis=0)
+
+        scale = 1.0 / np.sqrt(cfg.head_dim)
+        scores = np.einsum("hqd,hkd->hqk", q, k_all) * scale
+        query_pos = offset + np.arange(seq)[:, None]
+        key_pos = np.arange(total)[None, :]
+        scores = np.where(key_pos <= query_pos, scores, -1e9)
+        weights = F.softmax_array(scores, axis=-1)
+        context = np.einsum("hqk,hkd->hqd", weights, v_all)
+        context = context.transpose(1, 0, 2).reshape(seq, cfg.d_model)
+        return self.o_proj.forward_array(context)
+
+    def new_cache(self, max_seq_len: Optional[int] = None) -> KVCache:
+        """Create an empty KV cache sized for this attention block."""
+        return KVCache(
+            self.config.n_kv_heads,
+            self.config.head_dim,
+            max_seq_len or self.config.max_seq_len,
+        )
+
+
+def _apply_rope_tensor(x: Tensor, rope: RotaryEmbedding) -> Tensor:
+    """Apply RoPE to a Tensor of shape (batch, heads, seq, head_dim).
+
+    The rotation is expressed with differentiable slicing and constant
+    cos/sin tables, so gradients flow through normally.
+    """
+    seq = x.shape[-2]
+    cos = rope.cos[:seq]
+    sin = rope.sin[:seq]
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    rot_even = x_even * cos - x_odd * sin
+    rot_odd = x_even * sin + x_odd * cos
+    # Interleave even/odd back: stack on a new trailing axis then reshape.
+    stacked = Tensor.stack([rot_even, rot_odd], axis=-1)
+    return stacked.reshape(*x.shape)
+
+
+def _repeat_kv(x: Tensor, repeats: int) -> Tensor:
+    """Repeat KV heads along the head axis for grouped-query attention."""
+    # x: (batch, kv_heads, seq, head_dim) -> (batch, kv_heads*repeats, seq, head_dim)
+    parts = [x[:, i : i + 1] for i in range(x.shape[1]) for _ in range(repeats)]
+    return Tensor.concatenate(parts, axis=1)

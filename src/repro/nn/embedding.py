@@ -1,0 +1,37 @@
+"""Token embedding layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.functional import embedding_lookup
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed=None):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("num_embeddings and embedding_dim must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = new_rng(seed)
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.num_embeddings):
+            raise IndexError("token id out of range for embedding table")
+        return embedding_lookup(self.weight, token_ids)
+
+    def forward_array(self, token_ids: np.ndarray) -> np.ndarray:
+        """Inference-only lookup returning a plain array."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        return self.weight.data[token_ids]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Embedding(vocab={self.num_embeddings}, dim={self.embedding_dim})"

@@ -1,0 +1,201 @@
+"""Model zoo: paper-scale geometry + simulation-scale trainable counterparts.
+
+The paper evaluates four SwiGLU LLMs (Phi-3-Medium, Phi-3-Mini, Llama-3-8B,
+Mistral-7B).  Their checkpoints are not available offline, so every paper
+model is represented by a :class:`ModelSpec` that carries
+
+* the *paper-scale geometry* (layer count, hidden sizes, parameter count and
+  the DRAM budget used in Table 2), which drives the memory model and the HW
+  simulator, and
+* a *simulation-scale* :class:`~repro.nn.transformer.TransformerConfig` — a
+  tiny model with the same architecture family that is actually trained on
+  synthetic data to measure accuracy degradation under sparsification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.nn.transformer import CausalLM, TransformerConfig
+from repro.utils.config import ConfigBase
+from repro.utils.units import GB
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec(ConfigBase):
+    """Pairing of paper-scale geometry with a trainable simulation config."""
+
+    name: str
+    display_name: str
+    paper_config: TransformerConfig
+    sim_config: TransformerConfig
+    #: DRAM budget used for this model in the paper's Table 2 (bytes).
+    table2_dram_bytes: float = 0.0
+    #: Reference dense perplexity reported by the paper (WikiText-2).
+    paper_dense_ppl: float = 0.0
+    #: Reference dense MMLU 5-shot accuracy reported by the paper.
+    paper_dense_mmlu: float = 0.0
+
+    def paper_model_bytes(self, bits_per_weight: float = 4.0) -> float:
+        """Quantized model size at paper scale (defaults to INT4 as in Table 2)."""
+        return self.paper_config.total_parameters() * bits_per_weight / 8.0
+
+
+def _paper_config(
+    vocab_size: int,
+    d_model: int,
+    n_layers: int,
+    n_heads: int,
+    n_kv_heads: int,
+    d_ffn: int,
+) -> TransformerConfig:
+    return TransformerConfig(
+        vocab_size=vocab_size,
+        d_model=d_model,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        n_kv_heads=n_kv_heads,
+        d_ffn=d_ffn,
+        max_seq_len=2048,
+        activation="silu",
+        tie_embeddings=False,
+    )
+
+
+def _sim_config(
+    d_model: int,
+    n_layers: int,
+    n_heads: int,
+    n_kv_heads: int,
+    d_ffn: int,
+    vocab_size: int = 256,
+    max_seq_len: int = 128,
+) -> TransformerConfig:
+    return TransformerConfig(
+        vocab_size=vocab_size,
+        d_model=d_model,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        n_kv_heads=n_kv_heads,
+        d_ffn=d_ffn,
+        max_seq_len=max_seq_len,
+        activation="silu",
+        tie_embeddings=True,
+    )
+
+
+#: Paper-scale architecture descriptions (public numbers for the four models).
+PAPER_MODELS: Dict[str, ModelSpec] = {}
+
+
+def _register(spec: ModelSpec) -> ModelSpec:
+    PAPER_MODELS[spec.name] = spec
+    return spec
+
+
+PHI3_MEDIUM = _register(
+    ModelSpec(
+        name="phi3-medium",
+        display_name="Phi3Med",
+        paper_config=_paper_config(
+            vocab_size=32064, d_model=5120, n_layers=40, n_heads=40, n_kv_heads=10, d_ffn=17920
+        ),
+        sim_config=_sim_config(d_model=96, n_layers=6, n_heads=4, n_kv_heads=2, d_ffn=384),
+        table2_dram_bytes=4.0 * GB,
+        paper_dense_ppl=4.29,
+        paper_dense_mmlu=78.14,
+    )
+)
+
+PHI3_MINI = _register(
+    ModelSpec(
+        name="phi3-mini",
+        display_name="Phi3Mini",
+        paper_config=_paper_config(
+            vocab_size=32064, d_model=3072, n_layers=32, n_heads=32, n_kv_heads=32, d_ffn=8192
+        ),
+        sim_config=_sim_config(d_model=64, n_layers=4, n_heads=4, n_kv_heads=4, d_ffn=256),
+        table2_dram_bytes=1.5 * GB,
+        paper_dense_ppl=6.01,
+        paper_dense_mmlu=70.62,
+    )
+)
+
+LLAMA3_8B = _register(
+    ModelSpec(
+        name="llama3-8b",
+        display_name="Llama8B",
+        paper_config=_paper_config(
+            vocab_size=128256, d_model=4096, n_layers=32, n_heads=32, n_kv_heads=8, d_ffn=14336
+        ),
+        sim_config=_sim_config(d_model=80, n_layers=5, n_heads=4, n_kv_heads=2, d_ffn=320),
+        table2_dram_bytes=2.5 * GB,
+        paper_dense_ppl=6.14,
+        paper_dense_mmlu=65.30,
+    )
+)
+
+MISTRAL_7B = _register(
+    ModelSpec(
+        name="mistral-7b",
+        display_name="Mistral7B",
+        paper_config=_paper_config(
+            vocab_size=32000, d_model=4096, n_layers=32, n_heads=32, n_kv_heads=8, d_ffn=14336
+        ),
+        sim_config=_sim_config(d_model=80, n_layers=5, n_heads=4, n_kv_heads=2, d_ffn=320),
+        table2_dram_bytes=2.0 * GB,
+        paper_dense_ppl=5.25,
+        paper_dense_mmlu=62.68,
+    )
+)
+
+#: A deliberately tiny spec for unit tests and quick examples.
+TINY = _register(
+    ModelSpec(
+        name="tiny",
+        display_name="Tiny",
+        paper_config=_paper_config(
+            vocab_size=32000, d_model=2048, n_layers=16, n_heads=16, n_kv_heads=4, d_ffn=5632
+        ),
+        sim_config=_sim_config(d_model=32, n_layers=2, n_heads=2, n_kv_heads=1, d_ffn=96, max_seq_len=96),
+        table2_dram_bytes=1.0 * GB,
+        paper_dense_ppl=0.0,
+        paper_dense_mmlu=0.0,
+    )
+)
+
+#: Simulation-scale configs keyed by model name, for convenience.
+SIM_MODELS: Dict[str, TransformerConfig] = {name: spec.sim_config for name, spec in PAPER_MODELS.items()}
+
+#: The four models the paper evaluates (Table 1 column order).
+PAPER_MODEL_NAMES: List[str] = ["phi3-medium", "phi3-mini", "llama3-8b", "mistral-7b"]
+
+
+def list_models() -> List[str]:
+    """Names of all registered model specs."""
+    return sorted(PAPER_MODELS)
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a :class:`ModelSpec` by name."""
+    if name not in PAPER_MODELS:
+        raise KeyError(f"unknown model '{name}'; available: {list_models()}")
+    return PAPER_MODELS[name]
+
+
+def build_model(name: str, seed: Optional[int] = 0, scale: str = "sim") -> CausalLM:
+    """Instantiate a (randomly initialised) model.
+
+    ``scale`` selects between the trainable simulation config (``"sim"``) and
+    the paper-scale geometry (``"paper"``; only useful for memory accounting —
+    materialising the paper-scale weights would require tens of GB).
+    """
+    spec = get_model_spec(name)
+    if scale == "sim":
+        return CausalLM(spec.sim_config, seed=seed)
+    if scale == "paper":
+        raise ValueError(
+            "paper-scale models are not materialised; use spec.paper_config for memory accounting"
+        )
+    raise ValueError(f"unknown scale '{scale}' (expected 'sim')")

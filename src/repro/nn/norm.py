@@ -1,0 +1,57 @@
+"""Normalisation layers (RMSNorm as used by Llama/Mistral/Phi, plus LayerNorm)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class RMSNorm(Module):
+    """Root-mean-square normalisation with a learned scale."""
+
+    def __init__(self, dim: int, eps: float = 1e-6):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean_sq = (x * x).mean(axis=-1, keepdims=True)
+        inv = (mean_sq + self.eps) ** -0.5
+        return x * inv * self.weight
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only path on plain arrays."""
+        mean_sq = np.mean(x * x, axis=-1, keepdims=True)
+        return x / np.sqrt(mean_sq + self.eps) * self.weight.data
+
+
+class LayerNorm(Module):
+    """Standard layer normalisation with learned scale and shift."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = float(eps)
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        inv = (variance + self.eps) ** -0.5
+        return centered * inv * self.weight + self.bias
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only path on plain arrays."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = np.mean(centered * centered, axis=-1, keepdims=True)
+        return centered / np.sqrt(variance + self.eps) * self.weight.data + self.bias.data

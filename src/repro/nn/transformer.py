@@ -1,0 +1,247 @@
+"""Decoder-only transformer (causal LM) built from attention + gated MLP blocks."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn.attention import AttentionConfig, GroupedQueryAttention, KVCache
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.mlp import GLUMLPConfig, SwiGLUMLP
+from repro.nn.module import Module, ModuleList
+from repro.nn.norm import RMSNorm
+from repro.utils.config import ConfigBase
+from repro.utils.rng import new_rng, spawn_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class TransformerConfig(ConfigBase):
+    """Architecture configuration for a decoder-only SwiGLU transformer."""
+
+    vocab_size: int
+    d_model: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    d_ffn: int
+    max_seq_len: int = 512
+    activation: str = "silu"
+    tie_embeddings: bool = True
+    rope_base: float = 10000.0
+
+    def __post_init__(self):
+        if self.vocab_size <= 0 or self.n_layers <= 0:
+            raise ValueError("vocab_size and n_layers must be positive")
+
+    def attention_config(self) -> AttentionConfig:
+        return AttentionConfig(
+            d_model=self.d_model,
+            n_heads=self.n_heads,
+            n_kv_heads=self.n_kv_heads,
+            rope_base=self.rope_base,
+            max_seq_len=self.max_seq_len,
+        )
+
+    def mlp_config(self) -> GLUMLPConfig:
+        return GLUMLPConfig(d_model=self.d_model, d_ffn=self.d_ffn, activation=self.activation)
+
+    # ------------------------------------------------------- parameter counts
+    def mlp_parameters(self) -> int:
+        """Parameters in all gated MLP blocks (the sparsifiable weights)."""
+        return self.n_layers * 3 * self.d_model * self.d_ffn
+
+    def attention_parameters(self) -> int:
+        head_dim = self.d_model // self.n_heads
+        kv_dim = self.n_kv_heads * head_dim
+        per_layer = 2 * self.d_model * self.d_model + 2 * self.d_model * kv_dim
+        return self.n_layers * per_layer
+
+    def embedding_parameters(self) -> int:
+        count = self.vocab_size * self.d_model
+        if not self.tie_embeddings:
+            count *= 2
+        return count
+
+    def total_parameters(self) -> int:
+        norms = (2 * self.n_layers + 1) * self.d_model
+        return self.mlp_parameters() + self.attention_parameters() + self.embedding_parameters() + norms
+
+    def mlp_fraction(self) -> float:
+        """Fraction of all parameters residing in MLP blocks."""
+        return self.mlp_parameters() / self.total_parameters()
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + gated MLP with residuals."""
+
+    def __init__(self, config: TransformerConfig, layer_index: int, seed=None):
+        super().__init__()
+        self.layer_index = layer_index
+        rng = new_rng(seed)
+        self.attention_norm = RMSNorm(config.d_model)
+        self.attention = GroupedQueryAttention(config.attention_config(), seed=spawn_rng(rng, "attn"))
+        self.mlp_norm = RMSNorm(config.d_model)
+        self.mlp = SwiGLUMLP(config.mlp_config(), seed=spawn_rng(rng, "mlp"))
+
+    def forward(self, x: Tensor, mlp_override=None) -> Tensor:
+        """Training path.  ``mlp_override(block, normed_x)`` replaces the MLP
+        computation when provided (used for sparse / LoRA fine-tuning)."""
+        x = x + self.attention(self.attention_norm(x))
+        normed = self.mlp_norm(x)
+        if mlp_override is not None:
+            mlp_out = mlp_override(self, normed)
+        else:
+            mlp_out = self.mlp(normed)
+        return x + mlp_out
+
+    def forward_array(
+        self,
+        x: np.ndarray,
+        kv_cache: Optional[KVCache] = None,
+        mlp_override=None,
+    ) -> np.ndarray:
+        """Inference path.  ``mlp_override(block, normed_x)`` replaces the MLP
+        computation when provided (used by the sparse inference engine)."""
+        x = x + self.attention.forward_array(self.attention_norm.forward_array(x), kv_cache)
+        normed = self.mlp_norm.forward_array(x)
+        if mlp_override is not None:
+            mlp_out = mlp_override(self, normed)
+        else:
+            mlp_out = self.mlp.forward_array(normed)
+        return x + mlp_out
+
+
+class CausalLM(Module):
+    """Decoder-only causal language model."""
+
+    def __init__(self, config: TransformerConfig, seed=None):
+        super().__init__()
+        self.config = config
+        rng = new_rng(seed)
+        self.embedding = Embedding(config.vocab_size, config.d_model, seed=spawn_rng(rng, "embed"))
+        self.blocks = ModuleList(
+            [TransformerBlock(config, i, seed=spawn_rng(rng, f"block{i}")) for i in range(config.n_layers)]
+        )
+        self.final_norm = RMSNorm(config.d_model)
+        if config.tie_embeddings:
+            self.lm_head = None
+        else:
+            self.lm_head = Linear(config.d_model, config.vocab_size, seed=spawn_rng(rng, "head"))
+
+    # ---------------------------------------------------------------- training
+    def forward(self, token_ids: np.ndarray, mlp_override=None) -> Tensor:
+        """Return logits of shape ``(batch, seq, vocab)`` (training path)."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        x = self.embedding(token_ids)
+        for block in self.blocks:
+            x = block(x, mlp_override=mlp_override)
+        x = self.final_norm(x)
+        return self._project_logits(x)
+
+    def _project_logits(self, x: Tensor) -> Tensor:
+        if self.lm_head is not None:
+            return self.lm_head(x)
+        return x.matmul(self.embedding.weight.T)
+
+    def loss(self, token_ids: np.ndarray) -> Tensor:
+        """Next-token cross-entropy over a batch of sequences."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        logits = self.forward(token_ids[:, :-1])
+        targets = token_ids[:, 1:]
+        return F.cross_entropy(logits, targets)
+
+    # --------------------------------------------------------------- inference
+    def forward_array(
+        self,
+        token_ids: np.ndarray,
+        kv_caches: Optional[List[KVCache]] = None,
+        mlp_override=None,
+        return_hidden: bool = False,
+    ) -> np.ndarray:
+        """Inference logits for a single sequence ``(seq,)`` of token ids."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ValueError("forward_array expects a 1-D token sequence")
+        x = self.embedding.forward_array(token_ids)
+        hidden_states = []
+        for i, block in enumerate(self.blocks):
+            cache = kv_caches[i] if kv_caches is not None else None
+            x = block.forward_array(x, kv_cache=cache, mlp_override=mlp_override)
+            if return_hidden:
+                hidden_states.append(x.copy())
+        x = self.final_norm.forward_array(x)
+        if self.lm_head is not None:
+            logits = self.lm_head.forward_array(x)
+        else:
+            logits = x @ self.embedding.weight.data.T
+        if return_hidden:
+            return logits, hidden_states
+        return logits
+
+    def new_kv_caches(self, max_seq_len: Optional[int] = None) -> List[KVCache]:
+        """Create one empty KV cache per layer."""
+        return [block.attention.new_cache(max_seq_len) for block in self.blocks]
+
+    def generate(
+        self,
+        prompt_ids: Sequence[int],
+        max_new_tokens: int,
+        temperature: float = 1.0,
+        rng=None,
+        mlp_override=None,
+    ) -> np.ndarray:
+        """Autoregressive sampling (greedy when ``temperature == 0``)."""
+        rng = new_rng(rng)
+        prompt = np.asarray(list(prompt_ids), dtype=np.int64)
+        max_len = len(prompt) + max_new_tokens
+        caches = self.new_kv_caches(max_seq_len=max_len)
+        with no_grad():
+            logits = self.forward_array(prompt, kv_caches=caches, mlp_override=mlp_override)
+            generated = list(prompt)
+            for _ in range(max_new_tokens):
+                last = logits[-1]
+                if temperature <= 0:
+                    next_id = int(np.argmax(last))
+                else:
+                    probs = F.softmax_array(last / temperature)
+                    next_id = int(rng.choice(len(probs), p=probs))
+                generated.append(next_id)
+                logits = self.forward_array(
+                    np.asarray([next_id], dtype=np.int64), kv_caches=caches, mlp_override=mlp_override
+                )
+        return np.asarray(generated, dtype=np.int64)
+
+    # ------------------------------------------------------------- structure
+    @property
+    def mlps(self) -> List[SwiGLUMLP]:
+        """The per-layer gated MLP blocks in layer order."""
+        return [block.mlp for block in self.blocks]
+
+    def mlp_dimensions(self) -> Tuple[int, int, int]:
+        """Return ``(n_layers, d_model, d_ffn)``."""
+        return self.config.n_layers, self.config.d_model, self.config.d_ffn
+
+    def parameter_breakdown(self) -> Dict[str, int]:
+        """Parameter counts by component (embeddings / attention / mlp / norm)."""
+        breakdown = {"embedding": 0, "attention": 0, "mlp": 0, "norm": 0, "head": 0}
+        for name, param in self.named_parameters():
+            if name.startswith("embedding"):
+                breakdown["embedding"] += param.size
+            elif ".attention." in name:
+                breakdown["attention"] += param.size
+            elif ".mlp." in name:
+                breakdown["mlp"] += param.size
+            elif name.startswith("lm_head"):
+                breakdown["head"] += param.size
+            else:
+                breakdown["norm"] += param.size
+        return breakdown

@@ -1,0 +1,101 @@
+"""Dynamic Input Pruning (paper Section 4, Eq. 7-8) — the core contribution.
+
+DIP needs no predictor.  For every token it
+
+1. keeps only the largest-magnitude entries of the MLP *input* ``x``
+   (per-token top-k), which means only the corresponding *columns* of the up
+   and gate projections are read (Eq. 7), and
+2. computes the (approximate) GLU activations from the pruned input and keeps
+   only their largest magnitudes, which selects the columns of the down
+   projection (Eq. 8).
+
+The split of the density budget between the up/gate input columns and the
+down neuron columns follows the allocation model of Appendix B.1
+(:mod:`repro.sparsity.density`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.mlp import SwiGLUMLP
+from repro.sparsity.base import MLPMasks, SparsityMethod, topk_fraction_mask
+from repro.sparsity.density import DIPDensityAllocation, allocate_dip_densities
+
+
+class DynamicInputPruning(SparsityMethod):
+    """Predictor-free dynamic sparsification of SwiGLU MLPs.
+
+    Parameters
+    ----------
+    target_density:
+        Target average MLP density (fraction of MLP weights read per token).
+    allocation:
+        Optional explicit split of the budget between the input (up/gate) and
+        neuron (down) dimensions.  When omitted the Appendix-B.1 allocation
+        model is used.
+    """
+
+    name = "dip"
+
+    def __init__(
+        self,
+        target_density: float = 0.5,
+        allocation: Optional[DIPDensityAllocation] = None,
+    ):
+        super().__init__(target_density=target_density)
+        self.allocation = allocation if allocation is not None else allocate_dip_densities(target_density)
+
+    # ------------------------------------------------------------- fractions
+    @property
+    def input_keep_fraction(self) -> float:
+        """Fraction of input features kept (columns of W_u and W_g)."""
+        return self.allocation.input_density
+
+    @property
+    def neuron_keep_fraction(self) -> float:
+        """Fraction of GLU neurons kept (columns of W_d)."""
+        return self.allocation.down_density
+
+    # ----------------------------------------------------------------- masks
+    def input_scores(self, x: np.ndarray, layer_index: int) -> np.ndarray:
+        """Scores used to rank input features (plain magnitude for DIP)."""
+        return np.abs(x)
+
+    def glu_scores(self, glu: np.ndarray, layer_index: int) -> np.ndarray:
+        """Scores used to rank GLU neurons (plain magnitude for DIP)."""
+        return np.abs(glu)
+
+    def compute_masks(self, mlp: SwiGLUMLP, layer_index: int, x: np.ndarray) -> MLPMasks:
+        input_mask = topk_fraction_mask(self.input_scores(x, layer_index), self.input_keep_fraction)
+        x_pruned = x * input_mask
+        glu = mlp.glu_activations_array(x_pruned)
+        down_mask = topk_fraction_mask(self.glu_scores(glu, layer_index), self.neuron_keep_fraction)
+        return MLPMasks(
+            down_mask=down_mask,
+            input_mask=input_mask,
+            up_axis="input",
+            up_mask=input_mask,
+            gate_axis="input",
+            gate_mask=input_mask,
+        )
+
+    def expected_density(self, d_model: int, d_ffn: int) -> float:
+        return self.allocation.mlp_density
+
+    def memory_plan(self):
+        return {
+            "up": ("input", self.input_keep_fraction),
+            "gate": ("input", self.input_keep_fraction),
+            "down": ("neuron", self.neuron_keep_fraction),
+        }
+
+    def describe(self):
+        info = super().describe()
+        info.update(
+            input_density=self.input_keep_fraction,
+            down_density=self.neuron_keep_fraction,
+        )
+        return info

@@ -1,0 +1,113 @@
+"""GLU pruning (paper §3.2, Eq. 4, Fig. 5a) and its oracle variant.
+
+GLU pruning computes the dense GLU activations and drops the smallest ones,
+so only the corresponding columns of W_d can be skipped — at most 1/3 of the
+MLP weights.  The *oracle* variant assumes a perfect predictor that knows the
+surviving neurons in advance, so the matching rows of W_u and W_g are skipped
+as well (this is the "GLU Pruning (oracle)" row of Tables 1/3/4: an upper
+bound for any predictive method).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.mlp import SwiGLUMLP
+from repro.nn.transformer import CausalLM
+from repro.sparsity.base import MLPMasks, SparsityMethod, topk_fraction_mask
+from repro.sparsity.thresholding import ThresholdStrategy, collect_glu_activations
+
+
+class GLUPruning(SparsityMethod):
+    """Magnitude pruning of GLU activations with per-token top-k selection.
+
+    Parameters
+    ----------
+    target_density:
+        Desired *MLP* density.  For the non-oracle variant only W_d is
+        sparsified, so the achievable MLP density is ``(2 + keep) / 3`` with
+        ``keep`` the fraction of GLU neurons kept; target densities below 2/3
+        are clamped (the paper notes GLU pruning cannot go below 67% density).
+        For the oracle variant all three matrices follow the neuron mask and
+        the MLP density equals ``keep``.
+    oracle:
+        Whether the up/gate rows of pruned neurons are also skipped.
+    threshold_strategy:
+        Optional alternative thresholding (global / per-layer); per-token
+        top-k is used when omitted.
+    """
+
+    def __init__(
+        self,
+        target_density: float = 0.5,
+        oracle: bool = False,
+        threshold_strategy: Optional[ThresholdStrategy] = None,
+        keep_fraction: Optional[float] = None,
+    ):
+        super().__init__(target_density=target_density)
+        self.oracle = bool(oracle)
+        self.threshold_strategy = threshold_strategy
+        self._explicit_keep_fraction = keep_fraction
+        if keep_fraction is not None and not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must lie in [0, 1]")
+        self.name = "glu-oracle" if oracle else "glu"
+        self.requires_calibration = bool(
+            threshold_strategy is not None and threshold_strategy.requires_calibration
+        )
+
+    # ------------------------------------------------------------------ setup
+    @property
+    def keep_fraction(self) -> float:
+        """Fraction of GLU neurons kept.
+
+        Derived from the target MLP density unless an explicit
+        ``keep_fraction`` was given (used for the GLU-density sweeps of
+        Figures 4 and 6, which are parameterised by activation density rather
+        than MLP density).
+        """
+        if self._explicit_keep_fraction is not None:
+            return float(self._explicit_keep_fraction)
+        if self.oracle:
+            return self.target_density
+        # density = (2 + keep) / 3  =>  keep = 3 * density - 2
+        return float(np.clip(3.0 * self.target_density - 2.0, 0.0, 1.0))
+
+    def calibrate(self, model: CausalLM, calibration_sequences: np.ndarray) -> None:
+        if self.threshold_strategy is not None and self.threshold_strategy.requires_calibration:
+            activations = collect_glu_activations(model, calibration_sequences)
+            self.threshold_strategy.calibrate(activations)
+
+    # ------------------------------------------------------------------ masks
+    def compute_masks(self, mlp: SwiGLUMLP, layer_index: int, x: np.ndarray) -> MLPMasks:
+        glu = mlp.glu_activations_array(x)
+        if self.threshold_strategy is not None:
+            down_mask = self.threshold_strategy.mask(glu, layer_index)
+        else:
+            down_mask = topk_fraction_mask(np.abs(glu), self.keep_fraction)
+        if self.oracle:
+            return MLPMasks(
+                down_mask=down_mask,
+                up_axis="neuron",
+                up_mask=down_mask,
+                gate_axis="neuron",
+                gate_mask=down_mask,
+            )
+        return MLPMasks(down_mask=down_mask, up_axis="dense", gate_axis="dense")
+
+    def expected_density(self, d_model: int, d_ffn: int) -> float:
+        keep = self.keep_fraction
+        if self.oracle:
+            return keep
+        return (2.0 + keep) / 3.0
+
+    def memory_plan(self):
+        keep = self.keep_fraction
+        if self.oracle:
+            return {
+                "up": ("neuron", keep),
+                "gate": ("neuron", keep),
+                "down": ("neuron", keep),
+            }
+        return {"up": ("dense", None), "gate": ("dense", None), "down": ("neuron", keep)}

@@ -1,0 +1,111 @@
+"""Predictive GLU pruning — the DejaVu-style baseline (paper §3.2, Eq. 6, Fig. 5c).
+
+A small per-layer MLP predictor looks at the layer *input* ``x`` and predicts
+which GLU activations will be large.  The top-k neurons by predictor logit
+survive; all three weight matrices are restricted to those neurons, so the
+achievable MLP density equals the neuron keep-fraction (ignoring the
+predictor's own parameters, as the paper does — their overhead is reported
+separately in §6.2).
+
+The interesting failure mode reproduced here (Figure 6): on SwiGLU models the
+predictor's job is magnitude regression through a gating non-linearity, which
+is far harder than predicting ReLU sign patterns, so predictive pruning loses
+substantially more accuracy than oracle GLU pruning at the same density.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.mlp import SwiGLUMLP
+from repro.nn.transformer import CausalLM
+from repro.sparsity.base import MLPMasks, SparsityMethod, topk_fraction_mask
+
+
+class PredictiveGLUPruning(SparsityMethod):
+    """DejaVu-style predictor-based neuron selection.
+
+    Parameters
+    ----------
+    target_density:
+        MLP density = neuron keep-fraction (all three matrices are pruned).
+    predictors:
+        One predictor per layer exposing ``forward_array(x) -> logits`` with
+        logits of shape ``(T, d_ffn)``.  If omitted, :meth:`calibrate` trains
+        them with the default recipe from :mod:`repro.training.predictor`.
+    predictor_hidden:
+        Hidden width used when predictors are trained during calibration
+        (the paper uses 1000 hidden units).
+    """
+
+    name = "dejavu"
+    requires_calibration = True
+
+    def __init__(
+        self,
+        target_density: float = 0.5,
+        predictors: Optional[Sequence] = None,
+        predictor_hidden: int = 64,
+        predictor_epochs: int = 10,
+        predictor_target_fraction: float = 0.1,
+        seed: int = 0,
+    ):
+        super().__init__(target_density=target_density)
+        self.predictors: Optional[List] = list(predictors) if predictors is not None else None
+        self.predictor_hidden = int(predictor_hidden)
+        self.predictor_epochs = int(predictor_epochs)
+        self.predictor_target_fraction = float(predictor_target_fraction)
+        self.seed = seed
+        self.requires_calibration = self.predictors is None
+
+    @property
+    def keep_fraction(self) -> float:
+        """All three matrices follow the predicted neuron mask."""
+        return self.target_density
+
+    def calibrate(self, model: CausalLM, calibration_sequences: np.ndarray) -> None:
+        if self.predictors is not None:
+            return
+        # Imported lazily: the training package depends on repro.sparsity.
+        from repro.training.predictor import PredictorTrainingConfig, train_predictors
+
+        config = PredictorTrainingConfig(
+            hidden_units=self.predictor_hidden,
+            epochs=self.predictor_epochs,
+            target_fraction=self.predictor_target_fraction,
+            seed=self.seed if isinstance(self.seed, int) else 0,
+        )
+        self.predictors = train_predictors(model, calibration_sequences, config)
+
+    def compute_masks(self, mlp: SwiGLUMLP, layer_index: int, x: np.ndarray) -> MLPMasks:
+        if self.predictors is None:
+            raise RuntimeError("PredictiveGLUPruning requires calibration (or explicit predictors)")
+        if layer_index >= len(self.predictors):
+            raise IndexError(f"no predictor for layer {layer_index}")
+        logits = self.predictors[layer_index].forward_array(x)
+        if logits.shape != (x.shape[0], mlp.d_ffn):
+            raise ValueError(
+                f"predictor for layer {layer_index} returned shape {logits.shape}, "
+                f"expected {(x.shape[0], mlp.d_ffn)}"
+            )
+        neuron_mask = topk_fraction_mask(logits, self.keep_fraction)
+        return MLPMasks(
+            down_mask=neuron_mask,
+            up_axis="neuron",
+            up_mask=neuron_mask,
+            gate_axis="neuron",
+            gate_mask=neuron_mask,
+        )
+
+    def expected_density(self, d_model: int, d_ffn: int) -> float:
+        return self.keep_fraction
+
+    def memory_plan(self):
+        keep = self.keep_fraction
+        return {"up": ("neuron", keep), "gate": ("neuron", keep), "down": ("neuron", keep)}
+
+    def predictor_parameter_overhead(self, d_model: int, d_ffn: int) -> int:
+        """Extra parameters introduced by the predictors (per layer)."""
+        return self.predictor_hidden * (d_model + d_ffn) + self.predictor_hidden + d_ffn

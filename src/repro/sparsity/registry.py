@@ -1,0 +1,39 @@
+"""Registry mapping method names to factories (used by the evaluation harness)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.sparsity.base import DenseBaseline, SparsityMethod
+from repro.sparsity.cache_aware import CacheAwareDIP
+from repro.sparsity.cats import CATS
+from repro.sparsity.dip import DynamicInputPruning
+from repro.sparsity.gate_pruning import GatePruning, UpPruning
+from repro.sparsity.glu_pruning import GLUPruning
+from repro.sparsity.predictive import PredictiveGLUPruning
+
+MethodFactory = Callable[..., SparsityMethod]
+
+METHOD_REGISTRY: Dict[str, MethodFactory] = {
+    "dense": lambda target_density=1.0, **kw: DenseBaseline(),
+    "glu": lambda target_density=0.5, **kw: GLUPruning(target_density, oracle=False),
+    "glu-oracle": lambda target_density=0.5, **kw: GLUPruning(target_density, oracle=True),
+    "gate": lambda target_density=0.5, **kw: GatePruning(target_density),
+    "up": lambda target_density=0.5, **kw: UpPruning(target_density),
+    "dejavu": lambda target_density=0.5, **kw: PredictiveGLUPruning(target_density, **kw),
+    "cats": lambda target_density=0.5, **kw: CATS(target_density),
+    "dip": lambda target_density=0.5, **kw: DynamicInputPruning(target_density, **kw),
+    "dip-ca": lambda target_density=0.5, **kw: CacheAwareDIP(target_density, **kw),
+}
+
+
+def available_methods() -> List[str]:
+    """Names of all registered dynamic-sparsity methods."""
+    return sorted(METHOD_REGISTRY)
+
+
+def build_method(name: str, target_density: float = 0.5, **kwargs) -> SparsityMethod:
+    """Instantiate a sparsity method by registry name."""
+    if name not in METHOD_REGISTRY:
+        raise KeyError(f"unknown sparsity method '{name}'; available: {available_methods()}")
+    return METHOD_REGISTRY[name](target_density=target_density, **kwargs)

@@ -1,0 +1,41 @@
+"""Training substrate: LM pre-training, LoRA adapters, distillation, predictors.
+
+The paper's pipeline needs three kinds of training:
+
+* pre-training the (tiny, simulation-scale) SwiGLU LLMs on the synthetic
+  corpus (:mod:`repro.training.trainer`),
+* fitting DejaVu-style sparsity predictors with a cross-entropy objective on
+  calibration activations (:mod:`repro.training.predictor`), and
+* fine-tuning LoRA adapters on the sparsified model with a
+  knowledge-distillation loss against the dense teacher
+  (:mod:`repro.training.lora`, :mod:`repro.training.distill`).
+"""
+
+from repro.training.trainer import TrainingConfig, TrainingResult, train_language_model, evaluate_loss
+from repro.training.lora import LoRAConfig, LoRAAdapter, MLPLoRAAdapters, attach_mlp_adapters, fuse_adapters
+from repro.training.distill import DistillationConfig, finetune_lora_distillation, sparse_lora_mlp_override
+from repro.training.predictor import (
+    PredictorTrainingConfig,
+    SparsityPredictor,
+    train_predictors,
+    predictor_topk_recall,
+)
+
+__all__ = [
+    "TrainingConfig",
+    "TrainingResult",
+    "train_language_model",
+    "evaluate_loss",
+    "LoRAConfig",
+    "LoRAAdapter",
+    "MLPLoRAAdapters",
+    "attach_mlp_adapters",
+    "fuse_adapters",
+    "DistillationConfig",
+    "finetune_lora_distillation",
+    "sparse_lora_mlp_override",
+    "PredictorTrainingConfig",
+    "SparsityPredictor",
+    "train_predictors",
+    "predictor_topk_recall",
+]

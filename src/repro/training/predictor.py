@@ -1,0 +1,131 @@
+"""DejaVu-style sparsity predictors (paper §3.3 and the DejaVu baseline).
+
+For every MLP layer a small two-layer MLP maps the layer *input* to one logit
+per GLU neuron.  Following the paper's recipe, binary targets mark the 10%
+largest-magnitude GLU activations of each token and the predictor is trained
+with a (binary) cross-entropy loss on activations collected from a
+calibration set.  At inference the top-k neurons by predictor logit are kept.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.optim import Adam
+from repro.autograd.tensor import Tensor
+from repro.nn.mlp import DenseMLP
+from repro.nn.transformer import CausalLM
+from repro.sparsity.base import topk_fraction_mask
+from repro.sparsity.thresholding import collect_glu_activations, collect_mlp_inputs
+from repro.utils.config import ConfigBase
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng, spawn_rng
+
+logger = get_logger("training.predictor")
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictorTrainingConfig(ConfigBase):
+    """Hyper-parameters for predictor training.
+
+    The paper uses 1000 hidden units and up to 20 epochs; the defaults here
+    are scaled to the simulation-size models.
+    """
+
+    hidden_units: int = 64
+    epochs: int = 10
+    batch_size: int = 256
+    learning_rate: float = 1e-2
+    #: Fraction of largest-magnitude GLU activations labelled positive.
+    target_fraction: float = 0.1
+    seed: int = 0
+
+
+class SparsityPredictor:
+    """Wrapper around a small MLP producing per-neuron logits."""
+
+    def __init__(self, d_model: int, d_ffn: int, hidden_units: int, seed=None):
+        self.d_model = d_model
+        self.d_ffn = d_ffn
+        self.network = DenseMLP(d_model, hidden_units, d_ffn, activation="relu", seed=seed)
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Predict logits of shape ``(T, d_ffn)`` for inputs ``(T, d_model)``."""
+        return self.network.forward_array(np.atleast_2d(x))
+
+    def parameters(self):
+        return self.network.parameters()
+
+    def parameter_count(self) -> int:
+        return int(sum(p.size for p in self.network.parameters()))
+
+
+def _train_single_predictor(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    config: PredictorTrainingConfig,
+    seed,
+) -> SparsityPredictor:
+    d_model = inputs.shape[1]
+    d_ffn = targets.shape[1]
+    predictor = SparsityPredictor(d_model, d_ffn, config.hidden_units, seed=seed)
+    optimizer = Adam(predictor.parameters(), lr=config.learning_rate)
+    rng = new_rng(seed)
+    n = inputs.shape[0]
+    batch_size = min(config.batch_size, n)
+    for _epoch in range(config.epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            x = Tensor(inputs[idx])
+            logits = predictor.network(x)
+            loss = F.binary_cross_entropy_with_logits(logits, targets[idx])
+            for p in predictor.parameters():
+                p.grad = None
+            loss.backward()
+            optimizer.step()
+    return predictor
+
+
+def train_predictors(
+    model: CausalLM,
+    calibration_sequences: np.ndarray,
+    config: PredictorTrainingConfig = PredictorTrainingConfig(),
+) -> List[SparsityPredictor]:
+    """Train one predictor per MLP layer of ``model`` on calibration data."""
+    inputs_per_layer = collect_mlp_inputs(model, calibration_sequences)
+    glu_per_layer = collect_glu_activations(model, calibration_sequences)
+    rng = new_rng(config.seed)
+    predictors: List[SparsityPredictor] = []
+    for layer_index, (inputs, glu) in enumerate(zip(inputs_per_layer, glu_per_layer)):
+        targets = topk_fraction_mask(np.abs(glu), config.target_fraction).astype(np.float64)
+        predictor = _train_single_predictor(
+            inputs, targets, config, seed=spawn_rng(rng, f"predictor{layer_index}")
+        )
+        predictors.append(predictor)
+        logger.info("trained predictor for layer %d on %d tokens", layer_index, inputs.shape[0])
+    return predictors
+
+
+def predictor_topk_recall(
+    predictor: SparsityPredictor,
+    inputs: np.ndarray,
+    glu_activations: np.ndarray,
+    keep_fraction: float,
+) -> float:
+    """Fraction of the true top-k neurons recovered by the predictor's top-k.
+
+    This is the quantity that collapses on SwiGLU models (Figure 6): the
+    predictor simply cannot rank gated-activation magnitudes well.
+    """
+    logits = predictor.forward_array(inputs)
+    predicted = topk_fraction_mask(logits, keep_fraction)
+    true = topk_fraction_mask(np.abs(glu_activations), keep_fraction)
+    true_counts = true.sum(axis=-1)
+    true_counts = np.maximum(true_counts, 1)
+    overlap = (predicted & true).sum(axis=-1) / true_counts
+    return float(overlap.mean())

@@ -1,0 +1,126 @@
+"""Language-model pre-training on the synthetic corpus."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd.optim import Adam, clip_grad_norm, cosine_lr
+from repro.autograd.tensor import no_grad
+from repro.data.datasets import LMDataset, iterate_batches
+from repro.nn.transformer import CausalLM
+from repro.utils.config import ConfigBase
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+logger = get_logger("training.trainer")
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingConfig(ConfigBase):
+    """Hyper-parameters for LM pre-training."""
+
+    steps: int = 300
+    batch_size: int = 8
+    learning_rate: float = 3e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 1.0
+    warmup_steps: int = 20
+    min_learning_rate: float = 3e-4
+    log_every: int = 50
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.steps <= 0 or self.batch_size <= 0:
+            raise ValueError("steps and batch_size must be positive")
+
+
+@dataclasses.dataclass
+class TrainingResult:
+    """Loss history and timing returned by :func:`train_language_model`."""
+
+    losses: List[float]
+    final_loss: float
+    validation_loss: Optional[float]
+    wall_time_s: float
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "final_loss": self.final_loss,
+            "validation_loss": self.validation_loss if self.validation_loss is not None else float("nan"),
+            "wall_time_s": self.wall_time_s,
+        }
+
+
+def train_language_model(
+    model: CausalLM,
+    train_dataset: LMDataset,
+    config: TrainingConfig = TrainingConfig(),
+    validation_dataset: Optional[LMDataset] = None,
+) -> TrainingResult:
+    """Train ``model`` with next-token cross-entropy on ``train_dataset``.
+
+    The loop cycles through the dataset as many times as needed to reach
+    ``config.steps`` optimiser steps.
+    """
+    start = time.time()
+    optimizer = Adam(model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay)
+    rng = new_rng(config.seed)
+    model.train()
+
+    losses: List[float] = []
+    step = 0
+    epoch = 0
+    while step < config.steps:
+        for batch in iterate_batches(
+            train_dataset, config.batch_size, shuffle=True, seed=int(rng.integers(2**31)), drop_last=True
+        ):
+            if step >= config.steps:
+                break
+            optimizer.lr = cosine_lr(
+                step, config.steps, config.learning_rate, config.warmup_steps, config.min_learning_rate
+            )
+            model.zero_grad()
+            loss = model.loss(batch)
+            loss.backward()
+            if config.grad_clip > 0:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            losses.append(float(loss.data))
+            if config.log_every and step % config.log_every == 0:
+                logger.info("step %d loss %.4f lr %.2e", step, losses[-1], optimizer.lr)
+            step += 1
+        epoch += 1
+        if epoch > config.steps:  # safety: dataset far smaller than steps
+            break
+
+    validation_loss = None
+    if validation_dataset is not None:
+        validation_loss = evaluate_loss(model, validation_dataset, batch_size=config.batch_size)
+
+    model.eval()
+    return TrainingResult(
+        losses=losses,
+        final_loss=float(np.mean(losses[-10:])) if losses else float("nan"),
+        validation_loss=validation_loss,
+        wall_time_s=time.time() - start,
+    )
+
+
+def evaluate_loss(model: CausalLM, dataset: LMDataset, batch_size: int = 8, max_batches: Optional[int] = None) -> float:
+    """Mean next-token cross-entropy of ``model`` on ``dataset`` (no gradients)."""
+    total_loss = 0.0
+    count = 0
+    with no_grad():
+        for i, batch in enumerate(iterate_batches(dataset, batch_size, shuffle=False, drop_last=False)):
+            if max_batches is not None and i >= max_batches:
+                break
+            loss = model.loss(batch)
+            total_loss += float(loss.data) * batch.shape[0]
+            count += batch.shape[0]
+    if count == 0:
+        raise ValueError("dataset produced no batches")
+    return total_loss / count

@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG, configuration helpers, Pareto fronts, logging."""
+
+from repro.utils.rng import RngMixin, new_rng, spawn_rng
+from repro.utils.config import ConfigBase, config_hash, asdict_shallow
+from repro.utils.pareto import pareto_front, pareto_front_indices, interpolate_front
+from repro.utils.logging import get_logger
+from repro.utils.units import GB, MB, KB, bytes_to_gb, bytes_to_mb, format_bytes
+
+__all__ = [
+    "RngMixin",
+    "new_rng",
+    "spawn_rng",
+    "ConfigBase",
+    "config_hash",
+    "asdict_shallow",
+    "pareto_front",
+    "pareto_front_indices",
+    "interpolate_front",
+    "get_logger",
+    "GB",
+    "MB",
+    "KB",
+    "bytes_to_gb",
+    "bytes_to_mb",
+    "format_bytes",
+]

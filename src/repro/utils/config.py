@@ -1,0 +1,72 @@
+"""Lightweight configuration dataclass helpers.
+
+Configurations throughout the library are frozen dataclasses inheriting from
+:class:`ConfigBase`.  They serialise to plain dictionaries / JSON and have a
+stable content hash used to key the on-disk artifact cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, Type, TypeVar
+
+T = TypeVar("T", bound="ConfigBase")
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Convert a config field value into a JSON-serialisable structure."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _to_jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfigBase:
+    """Base class for frozen configuration dataclasses."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the configuration as a JSON-serialisable dictionary."""
+        return _to_jsonable(self)
+
+    def to_json(self) -> str:
+        """Return a canonical (sorted-key) JSON encoding of the config."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def content_hash(self, length: int = 16) -> str:
+        """Stable hex hash of the configuration contents."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:length]
+
+    def replace(self: T, **changes: Any) -> T:
+        """Return a copy of the config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_dict(cls: Type[T], data: Dict[str, Any]) -> T:
+        """Construct a config from a dictionary, ignoring unknown keys."""
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in field_names}
+        return cls(**kwargs)
+
+
+def asdict_shallow(obj: Any) -> Dict[str, Any]:
+    """Shallow dataclass-to-dict conversion (does not recurse into fields)."""
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+def config_hash(*configs: Any, extra: Any = None, length: int = 16) -> str:
+    """Combined content hash of several configs plus optional extra data."""
+    payload = [_to_jsonable(c) if not isinstance(c, ConfigBase) else c.to_dict() for c in configs]
+    if extra is not None:
+        payload.append(_to_jsonable(extra))
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]

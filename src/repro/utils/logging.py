@@ -1,0 +1,45 @@
+"""Logging helpers.
+
+A thin wrapper around :mod:`logging` that gives every subsystem a namespaced
+logger with a single, consistently formatted stream handler.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(stream=sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        root.addHandler(handler)
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    root.setLevel(getattr(logging, level_name, logging.WARNING))
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the library's root namespace."""
+    _configure_root()
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def set_verbosity(level: str) -> None:
+    """Set the library-wide log level (e.g. ``"INFO"`` or ``"DEBUG"``)."""
+    _configure_root()
+    logging.getLogger(_ROOT_NAME).setLevel(getattr(logging, level.upper()))

@@ -1,0 +1,91 @@
+"""Pareto-front utilities.
+
+Used for the memory/perplexity trade-off curves (paper Fig. 8, Fig. 14) and
+for the density-allocation search in Appendix B.1 (Figs. 12-13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def pareto_front_indices(
+    cost: Sequence[float],
+    objective: Sequence[float],
+    minimize_objective: bool = True,
+) -> np.ndarray:
+    """Indices of Pareto-optimal points.
+
+    A point is Pareto optimal if no other point has both lower ``cost`` and a
+    better ``objective`` (lower when ``minimize_objective`` else higher).
+    Returned indices are sorted by increasing cost.
+    """
+    cost_arr = np.asarray(cost, dtype=np.float64)
+    obj = np.asarray(objective, dtype=np.float64)
+    if cost_arr.shape != obj.shape or cost_arr.ndim != 1:
+        raise ValueError("cost and objective must be 1-D arrays of equal length")
+    if not minimize_objective:
+        obj = -obj
+    # Sort by cost, breaking ties by objective so that a point with equal cost
+    # but better objective dominates its peers.
+    order = np.lexsort((obj, cost_arr))
+    best = np.inf
+    keep = []
+    for idx in order:
+        if obj[idx] < best - 1e-15:
+            keep.append(idx)
+            best = obj[idx]
+    return np.asarray(keep, dtype=np.int64)
+
+
+def pareto_front(
+    cost: Sequence[float],
+    objective: Sequence[float],
+    minimize_objective: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(cost, objective)`` arrays restricted to the Pareto front."""
+    idx = pareto_front_indices(cost, objective, minimize_objective=minimize_objective)
+    cost_arr = np.asarray(cost, dtype=np.float64)
+    obj = np.asarray(objective, dtype=np.float64)
+    return cost_arr[idx], obj[idx]
+
+
+def interpolate_front(
+    cost: Sequence[float],
+    objective: Sequence[float],
+    query_cost: Sequence[float],
+    minimize_objective: bool = True,
+) -> np.ndarray:
+    """Piecewise-linear interpolation of the Pareto front at ``query_cost``.
+
+    Queries outside the observed cost range are clamped to the front's end
+    values.
+    """
+    front_cost, front_obj = pareto_front(cost, objective, minimize_objective=minimize_objective)
+    if front_cost.size == 0:
+        raise ValueError("cannot interpolate an empty front")
+    query = np.asarray(query_cost, dtype=np.float64)
+    return np.interp(query, front_cost, front_obj)
+
+
+def best_under_budget(
+    cost: Sequence[float],
+    objective: Sequence[float],
+    budget: float,
+    minimize_objective: bool = True,
+) -> int:
+    """Index of the best-objective point whose cost does not exceed ``budget``.
+
+    Raises ``ValueError`` if no point fits the budget.
+    """
+    cost_arr = np.asarray(cost, dtype=np.float64)
+    obj = np.asarray(objective, dtype=np.float64)
+    mask = cost_arr <= budget
+    if not np.any(mask):
+        raise ValueError(f"no point with cost <= {budget}")
+    candidates = np.flatnonzero(mask)
+    if minimize_objective:
+        return int(candidates[np.argmin(obj[candidates])])
+    return int(candidates[np.argmax(obj[candidates])])

@@ -1,0 +1,26 @@
+"""Byte-size units and formatting used by the memory model and HW simulator."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to (binary) gigabytes."""
+    return float(n_bytes) / GB
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert bytes to (binary) megabytes."""
+    return float(n_bytes) / MB
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human readable byte count (e.g. ``"7.40 GB"``)."""
+    value = float(n_bytes)
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if abs(value) >= unit:
+            return f"{value / unit:.2f} {name}"
+    return f"{value:.0f} B"

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately tiny: the goal is to exercise every code path,
+not to produce publication-quality numbers (the benchmarks do that).
+Session-scoped fixtures cache the few expensive objects (a briefly trained
+model) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DataSplits, make_splits
+from repro.data.tasks import build_task
+from repro.nn.transformer import CausalLM, TransformerConfig
+from repro.training.trainer import TrainingConfig, train_language_model
+
+#: Vocabulary shared by the tiny test corpus and models (60 symbols + 4 specials).
+TEST_VOCAB = 64
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> TransformerConfig:
+    return TransformerConfig(
+        vocab_size=TEST_VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=4,
+        n_kv_heads=2,
+        d_ffn=64,
+        max_seq_len=96,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_splits() -> DataSplits:
+    return make_splits(
+        n_tokens=24_000,
+        seed=11,
+        seq_len=32,
+        vocab_size=TEST_VOCAB - 4,
+        branching_factor=6,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_config) -> CausalLM:
+    """An untrained tiny model (random weights, deterministic seed)."""
+    model = CausalLM(tiny_config, seed=3)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model(tiny_config, tiny_splits) -> CausalLM:
+    """A briefly trained tiny model; enough structure for sparsity ordering tests."""
+    model = CausalLM(tiny_config, seed=5)
+    train_language_model(
+        model,
+        tiny_splits.train,
+        TrainingConfig(steps=80, batch_size=8, learning_rate=3e-3, log_every=0, seed=1),
+    )
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def calibration_sequences(tiny_splits) -> np.ndarray:
+    return tiny_splits.train.sequences[:4]
+
+
+@pytest.fixture(scope="session")
+def eval_sequences(tiny_splits) -> np.ndarray:
+    return tiny_splits.test.sequences[:6]
+
+
+@pytest.fixture(scope="session")
+def tiny_task(tiny_splits):
+    return build_task("mmlu", tokenizer=tiny_splits.tokenizer, n_examples=8, n_shots=0, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

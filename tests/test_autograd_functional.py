@@ -1,0 +1,173 @@
+"""Tests for autograd functional ops (activations, losses, embedding lookup)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.autograd.gradcheck import check_gradients
+from repro.autograd.tensor import Tensor
+
+
+def leaf(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(0, scale, size=shape), requires_grad=True)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(F.relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        check_gradients(lambda x: F.relu(x).sum(), [x])
+
+    def test_sigmoid_range(self):
+        x = Tensor(np.linspace(-20, 20, 11))
+        y = F.sigmoid(x).data
+        assert np.all(y >= 0) and np.all(y <= 1)
+
+    def test_sigmoid_gradient(self):
+        x = leaf((5,), 1)
+        check_gradients(lambda x: F.sigmoid(x).sum(), [x])
+
+    def test_silu_matches_definition(self):
+        x = np.linspace(-3, 3, 7)
+        expected = x / (1 + np.exp(-x))
+        assert np.allclose(F.silu(Tensor(x)).data, expected)
+
+    def test_silu_gradient(self):
+        x = leaf((6,), 2)
+        check_gradients(lambda x: F.silu(x).sum(), [x])
+
+    def test_silu_array_matches_tensor(self):
+        x = np.random.default_rng(0).normal(size=10)
+        assert np.allclose(F.silu_array(x), F.silu(Tensor(x)).data)
+
+    def test_tanh_gradient(self):
+        x = leaf((4,), 3)
+        check_gradients(lambda x: F.tanh(x).sum(), [x])
+
+    def test_gelu_gradient(self):
+        x = leaf((4,), 4)
+        check_gradients(lambda x: F.gelu(x).sum(), [x], atol=1e-4)
+
+    def test_gelu_zero(self):
+        assert F.gelu(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        x = leaf((3, 5))
+        probs = F.softmax(x).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient(self):
+        x = leaf((2, 4))
+        check_gradients(lambda x: (F.softmax(x) ** 2).sum(), [x])
+
+    def test_log_softmax_consistent(self):
+        x = leaf((2, 4))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+    def test_log_softmax_gradient(self):
+        x = leaf((2, 4))
+        check_gradients(lambda x: (F.log_softmax(x) * 0.3).sum(), [x])
+
+    def test_softmax_stability_large_values(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(F.softmax(x).data, [[0.5, 0.5]])
+
+    def test_softmax_array(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        assert np.allclose(F.softmax_array(x), F.softmax(Tensor(x)).data)
+
+
+class TestCrossEntropy:
+    def test_value_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0, 0.0]]))
+        targets = np.array([0])
+        loss = F.cross_entropy(logits, targets)
+        manual = -np.log(np.exp(2) / (np.exp(2) + 2))
+        assert loss.item() == pytest.approx(manual)
+
+    def test_gradient(self):
+        logits = leaf((4, 6))
+        targets = np.array([0, 2, 5, 1])
+        check_gradients(lambda l: F.cross_entropy(l, targets), [logits])
+
+    def test_ignore_index(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        targets = np.array([1, -100, 2])
+        loss = F.cross_entropy(logits, targets, ignore_index=-100)
+        expected = F.cross_entropy(Tensor(logits.data[[0, 2]]), np.array([1, 2]))
+        assert loss.item() == pytest.approx(expected.item())
+
+    def test_all_ignored_raises(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([-1, -1]), ignore_index=-1)
+
+    def test_batched_3d_logits(self):
+        logits = leaf((2, 3, 5))
+        targets = np.array([[0, 1, 2], [3, 4, 0]])
+        loss = F.cross_entropy(logits, targets)
+        assert loss.size == 1
+        check_gradients(lambda l: F.cross_entropy(l, targets), [logits])
+
+
+class TestOtherLosses:
+    def test_bce_with_logits_gradient(self):
+        logits = leaf((4, 3))
+        targets = (np.random.default_rng(0).random((4, 3)) > 0.5).astype(float)
+        check_gradients(lambda l: F.binary_cross_entropy_with_logits(l, targets), [logits], atol=1e-4)
+
+    def test_bce_perfect_prediction_small_loss(self):
+        logits = Tensor(np.array([[20.0, -20.0]]))
+        targets = np.array([[1.0, 0.0]])
+        assert F.binary_cross_entropy_with_logits(logits, targets).item() < 1e-6
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+        check_gradients(lambda p: F.mse_loss(p, np.array([0.0, 0.0])), [pred])
+
+    def test_kl_divergence_zero_when_equal(self):
+        logits = np.random.default_rng(0).normal(size=(2, 5))
+        loss = F.kl_divergence(Tensor(logits), logits)
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_kl_divergence_positive(self):
+        rng = np.random.default_rng(0)
+        student = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        teacher = rng.normal(size=(2, 5))
+        assert F.kl_divergence(student, teacher).item() > 0
+
+    def test_kl_divergence_gradient(self):
+        rng = np.random.default_rng(1)
+        student = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        teacher = rng.normal(size=(2, 4))
+        check_gradients(lambda s: F.kl_divergence(s, teacher), [student], atol=1e-4)
+
+
+class TestEmbeddingLookup:
+    def test_values(self):
+        weight = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = F.embedding_lookup(weight, np.array([1, 3]))
+        assert np.allclose(out.data, weight.data[[1, 3]])
+
+    def test_gradient_scatter_adds(self):
+        weight = Tensor(np.random.default_rng(0).normal(size=(5, 3)), requires_grad=True)
+        ids = np.array([0, 0, 2])
+        out = F.embedding_lookup(weight, ids)
+        out.sum().backward()
+        assert np.allclose(weight.grad[0], 2.0)
+        assert np.allclose(weight.grad[2], 1.0)
+        assert np.allclose(weight.grad[1], 0.0)
+
+    def test_batched_ids(self):
+        weight = Tensor(np.random.default_rng(0).normal(size=(7, 2)), requires_grad=True)
+        ids = np.array([[0, 1], [2, 3]])
+        out = F.embedding_lookup(weight, ids)
+        assert out.shape == (2, 2, 2)

@@ -1,0 +1,112 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import Adam, SGD, clip_grad_norm, cosine_lr
+from repro.autograd.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def step_quadratic(param, optimizer, steps=50):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        value = step_quadratic(p, SGD([p], lr=0.1))
+        assert abs(value) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = step_quadratic(p1, SGD([p1], lr=0.01), steps=30)
+        momentum = step_quadratic(p2, SGD([p2], lr=0.01, momentum=0.9), steps=30)
+        assert abs(momentum) < abs(plain)
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0])], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        before = p.data.copy()
+        opt.step()  # no grad yet
+        assert np.array_equal(before, p.data)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        value = step_quadratic(p, Adam([p], lr=0.2), steps=100)
+        assert abs(value) < 1e-2
+
+    def test_zero_grad_clears(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 2.0
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 10.0)
+        before = np.linalg.norm(p.grad)
+        returned = clip_grad_norm([p], max_norm=1.0)
+        assert returned == pytest.approx(before)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_below_max(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, [0.1, 0.1])
+
+    def test_empty_params(self):
+        assert clip_grad_norm([], max_norm=1.0) == 0.0
+
+
+class TestCosineLR:
+    def test_warmup_ramps(self):
+        assert cosine_lr(0, 100, 1.0, warmup_steps=10) == pytest.approx(0.1)
+        assert cosine_lr(9, 100, 1.0, warmup_steps=10) == pytest.approx(1.0)
+
+    def test_decays_to_min(self):
+        assert cosine_lr(100, 100, 1.0, warmup_steps=0, min_lr=0.1) == pytest.approx(0.1)
+
+    def test_mid_schedule(self):
+        value = cosine_lr(50, 100, 1.0)
+        assert 0.4 < value < 0.6
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            cosine_lr(0, 0, 1.0)

@@ -1,0 +1,235 @@
+"""Tests for the autograd Tensor: ops, broadcasting, backward, gradcheck."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.gradcheck import check_gradients
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+
+def leaf(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(0, scale, size=shape), requires_grad=True)
+
+
+class TestBasics:
+    def test_shape_dtype(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert t.dtype == np.float64
+
+    def test_detach_stops_graph(self):
+        t = leaf((3,))
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_seed(self):
+        t = leaf((3,))
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+
+class TestNoGrad:
+    def test_disables_graph(self):
+        t = leaf((2, 2))
+        with no_grad():
+            out = t * 3
+            assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_nested_restores(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a, b = leaf((3, 4), 1), leaf((3, 4), 2)
+        check_gradients(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = leaf((3, 4), 1), leaf((4,), 2)
+        check_gradients(lambda a, b: (a + b).sum(), [a, b])
+
+    def test_sub_rsub(self):
+        a = leaf((3,), 1)
+        check_gradients(lambda a: (5.0 - a).sum(), [a])
+
+    def test_mul(self):
+        a, b = leaf((2, 3), 1), leaf((2, 3), 2)
+        check_gradients(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_scalar(self):
+        a = leaf((4,), 3)
+        check_gradients(lambda a: (a * 2.5).sum(), [a])
+
+    def test_div(self):
+        a, b = leaf((3,), 1), Tensor(np.array([1.5, 2.0, -3.0]), requires_grad=True)
+        check_gradients(lambda a, b: (a / b).sum(), [a, b])
+
+    def test_rtruediv(self):
+        b = Tensor(np.array([1.5, 2.0, -3.0]), requires_grad=True)
+        check_gradients(lambda b: (2.0 / b).sum(), [b])
+
+    def test_neg(self):
+        a = leaf((3,))
+        check_gradients(lambda a: (-a).sum(), [a])
+
+    def test_pow(self):
+        a = Tensor(np.array([0.5, 1.2, 2.0]), requires_grad=True)
+        check_gradients(lambda a: (a**3).sum(), [a])
+
+    def test_pow_negative_exponent(self):
+        a = Tensor(np.array([0.5, 1.2, 2.0]), requires_grad=True)
+        check_gradients(lambda a: (a**-0.5).sum(), [a], atol=1e-4)
+
+    def test_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            leaf((2,)) ** leaf((2,))
+
+
+class TestMatmulGradients:
+    def test_2d_matmul(self):
+        a, b = leaf((3, 4), 1), leaf((4, 5), 2)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_batched_matmul(self):
+        a, b = leaf((2, 3, 4), 1), leaf((2, 4, 5), 2)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_broadcast_batched_matmul(self):
+        a, b = leaf((2, 3, 4), 1), leaf((4, 5), 2)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_vector_matrix(self):
+        a, b = leaf((4,), 1), leaf((4, 5), 2)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matrix_vector(self):
+        a, b = leaf((3, 4), 1), leaf((4,), 2)
+        check_gradients(lambda a, b: (a @ b).sum(), [a, b])
+
+
+class TestUnaryGradients:
+    def test_exp(self):
+        a = leaf((3,), scale=0.5)
+        check_gradients(lambda a: a.exp().sum(), [a])
+
+    def test_log(self):
+        a = Tensor(np.array([0.5, 1.0, 2.0]), requires_grad=True)
+        check_gradients(lambda a: a.log().sum(), [a])
+
+    def test_sqrt(self):
+        a = Tensor(np.array([0.5, 1.0, 4.0]), requires_grad=True)
+        check_gradients(lambda a: a.sqrt().sum(), [a])
+
+    def test_abs(self):
+        a = Tensor(np.array([-1.5, 2.0, 0.5]), requires_grad=True)
+        check_gradients(lambda a: a.abs().sum(), [a])
+
+    def test_clip(self):
+        a = Tensor(np.array([-2.0, 0.3, 2.0]), requires_grad=True)
+        check_gradients(lambda a: a.clip(-1.0, 1.0).sum(), [a])
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        a = leaf((3, 4))
+        check_gradients(lambda a: a.sum(), [a])
+
+    def test_sum_axis_keepdims(self):
+        a = leaf((3, 4))
+        check_gradients(lambda a: (a.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+
+    def test_mean(self):
+        a = leaf((3, 4))
+        check_gradients(lambda a: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_var(self):
+        a = leaf((5,))
+        check_gradients(lambda a: a.var(), [a], atol=1e-4)
+
+    def test_max(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [4.0, 0.0, 3.0]]), requires_grad=True)
+        check_gradients(lambda a: a.max(axis=1).sum(), [a])
+
+    def test_max_value(self):
+        a = Tensor(np.array([1.0, 9.0, 3.0]))
+        assert a.max().item() == 9.0
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self):
+        a = leaf((2, 6))
+        check_gradients(lambda a: (a.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose_gradient(self):
+        a = leaf((2, 3, 4))
+        check_gradients(lambda a: (a.transpose(1, 0, 2) ** 2).sum(), [a])
+
+    def test_swapaxes_matches_numpy(self):
+        a = leaf((2, 3, 4))
+        assert a.swapaxes(-1, -2).shape == (2, 4, 3)
+
+    def test_T(self):
+        a = leaf((2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_getitem_gradient(self):
+        a = leaf((4, 5))
+        check_gradients(lambda a: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_fancy_index_gradient(self):
+        a = leaf((6, 3))
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda a: (a[idx] ** 2).sum(), [a])
+
+    def test_concatenate_gradient(self):
+        a, b = leaf((2, 3), 1), leaf((4, 3), 2)
+        check_gradients(lambda a, b: (Tensor.concatenate([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack_gradient(self):
+        a, b = leaf((2, 3), 1), leaf((2, 3), 2)
+        check_gradients(lambda a, b: (Tensor.stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_zeros_ones(self):
+        assert np.all(Tensor.zeros((2, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 2)).data == 1)
+
+
+class TestGradientAccumulation:
+    def test_reused_tensor_accumulates(self):
+        a = leaf((3,))
+        out = (a * a).sum() + (a * 2).sum()
+        out.backward()
+        expected = 2 * a.data + 2
+        assert np.allclose(a.grad, expected)
+
+    def test_zero_grad(self):
+        a = leaf((3,))
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        a = leaf((3,))
+        b = a * 2
+        c = a * 3
+        (b * c).sum().backward()
+        assert np.allclose(a.grad, 12 * a.data)

@@ -1,0 +1,113 @@
+"""Tests for GPTQ-style blockwise quantization and vector quantization."""
+
+import numpy as np
+import pytest
+
+from repro.compression.gptq import GPTQConfig, quantize_linear_gptq, quantize_model_blockwise
+from repro.compression.vq import VQConfig, kmeans_1d, quantize_linear_vq, quantize_model_vq
+from repro.eval.perplexity import dense_perplexity
+
+
+class TestGPTQLinear:
+    def test_output_shape_and_change(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(8, 32))
+        quantized = quantize_linear_gptq(weight, rng.normal(size=(64, 32)), GPTQConfig(bits=4, block_size=8))
+        assert quantized.shape == weight.shape
+        assert not np.allclose(quantized, weight)
+
+    def test_more_bits_better(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(8, 32))
+        calib = rng.normal(size=(128, 32))
+        err = {}
+        for bits in (2, 4, 8):
+            q = quantize_linear_gptq(weight, calib, GPTQConfig(bits=bits, block_size=8))
+            err[bits] = np.linalg.norm(q - weight)
+        assert err[2] > err[4] > err[8]
+
+    def test_gptq_beats_rtn_on_calibration_loss(self):
+        """Error compensation must reduce the output error on the calibration inputs."""
+        from repro.compression.quantizer import QuantizationSpec, quantize_blockwise_rtn
+
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(16, 48))
+        # Correlated inputs make error compensation matter.
+        basis = rng.normal(size=(8, 48))
+        calib = rng.normal(size=(256, 8)) @ basis
+        spec = GPTQConfig(bits=3, block_size=16)
+        gptq_w = quantize_linear_gptq(weight, calib, spec)
+        rtn_w = quantize_blockwise_rtn(weight, QuantizationSpec(bits=3, block_size=16))
+        err_gptq = np.linalg.norm(calib @ (gptq_w - weight).T)
+        err_rtn = np.linalg.norm(calib @ (rtn_w - weight).T)
+        assert err_gptq < err_rtn
+
+    def test_no_calibration_falls_back(self):
+        weight = np.random.default_rng(3).normal(size=(4, 16))
+        q = quantize_linear_gptq(weight, None, GPTQConfig(bits=4, block_size=8))
+        assert q.shape == weight.shape
+
+
+class TestGPTQModel:
+    def test_quantize_model_in_place(self, trained_tiny_model, calibration_sequences, eval_sequences):
+        import copy
+
+        model = copy.deepcopy(trained_tiny_model)
+        before = dense_perplexity(model, eval_sequences[:2])
+        errors = quantize_model_blockwise(model, calibration_sequences[:2], GPTQConfig(bits=4, block_size=16))
+        after = dense_perplexity(model, eval_sequences[:2])
+        assert len(errors) == 3 * len(model.blocks)
+        assert all(0 <= v < 0.5 for v in errors.values())
+        # 4-bit quantization should barely hurt perplexity.
+        assert after < before * 1.3
+
+
+class TestKMeans:
+    def test_centroid_count(self):
+        points = np.random.default_rng(0).normal(size=(100, 2))
+        centroids = kmeans_1d(points, 8, 10, np.random.default_rng(1))
+        assert centroids.shape == (8, 2)
+
+    def test_fewer_points_than_clusters(self):
+        points = np.random.default_rng(0).normal(size=(3, 2))
+        centroids = kmeans_1d(points, 8, 5, np.random.default_rng(1))
+        assert centroids.shape[0] == 3
+
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 0.05, size=(50, 1)) + 5
+        b = rng.normal(0, 0.05, size=(50, 1)) - 5
+        centroids = kmeans_1d(np.concatenate([a, b]), 2, 15, rng)
+        assert np.abs(np.sort(centroids.ravel()) - np.array([-5, 5])).max() < 0.5
+
+
+class TestVQ:
+    def test_quantize_linear_shapes(self):
+        weight = np.random.default_rng(0).normal(size=(8, 32))
+        quantized, codebook = quantize_linear_vq(weight, VQConfig(bits_per_weight=3, vector_dim=2, kmeans_iterations=5))
+        assert quantized.shape == weight.shape
+        assert codebook.shape[1] == 2
+
+    def test_vector_dim_must_divide(self):
+        with pytest.raises(ValueError):
+            quantize_linear_vq(np.zeros((4, 9)), VQConfig(vector_dim=2))
+
+    def test_more_bits_better(self):
+        weight = np.random.default_rng(1).normal(size=(8, 32))
+        errs = []
+        for bits in (1.5, 3.0):
+            q, _ = quantize_linear_vq(weight, VQConfig(bits_per_weight=bits, vector_dim=2, kmeans_iterations=8, seed=0))
+            errs.append(np.linalg.norm(q - weight))
+        assert errs[1] < errs[0]
+
+    def test_codebook_size(self):
+        assert VQConfig(bits_per_weight=3, vector_dim=2).codebook_size == 64
+
+    def test_quantize_model(self, trained_tiny_model, eval_sequences):
+        import copy
+
+        model = copy.deepcopy(trained_tiny_model)
+        errors = quantize_model_vq(model, VQConfig(bits_per_weight=3, vector_dim=2, kmeans_iterations=5))
+        assert len(errors) == 3 * len(model.blocks)
+        ppl = dense_perplexity(model, eval_sequences[:2])
+        assert np.isfinite(ppl)

@@ -1,0 +1,78 @@
+"""Tests for uniform quantization primitives."""
+
+import numpy as np
+import pytest
+
+from repro.compression.quantizer import (
+    QuantizationSpec,
+    dequantize_uniform,
+    quantization_error,
+    quantize_blockwise_rtn,
+    quantize_tensor_uniform,
+)
+
+
+class TestSpec:
+    def test_levels(self):
+        assert QuantizationSpec(bits=4).n_levels == 16
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=1)
+
+    def test_overhead_per_weight(self):
+        spec = QuantizationSpec(bits=4, block_size=32, symmetric=False)
+        assert spec.overhead_bits_per_weight(16) == pytest.approx(1.0)
+        assert QuantizationSpec(bits=4, block_size=32, symmetric=True).overhead_bits_per_weight(16) == pytest.approx(0.5)
+
+
+class TestUniformQuantization:
+    def test_round_trip_error_bounded(self):
+        values = np.random.default_rng(0).normal(size=64)
+        codes, scale, zero = quantize_tensor_uniform(values, bits=8)
+        recovered = dequantize_uniform(codes, scale, zero)
+        assert np.max(np.abs(recovered - values)) <= scale / 2 + 1e-12
+
+    def test_codes_in_range(self):
+        values = np.random.default_rng(1).normal(size=100)
+        codes, _, _ = quantize_tensor_uniform(values, bits=4)
+        assert codes.min() >= 0 and codes.max() <= 15
+
+    def test_symmetric_codes_in_range(self):
+        values = np.random.default_rng(2).normal(size=100)
+        codes, _, zero = quantize_tensor_uniform(values, bits=4, symmetric=True)
+        assert zero == 0.0
+        assert codes.min() >= -8 and codes.max() <= 7
+
+    def test_constant_block(self):
+        codes, scale, zero = quantize_tensor_uniform(np.full(8, 3.0), bits=4)
+        assert np.allclose(dequantize_uniform(codes, scale, zero), 3.0, atol=1e-6)
+
+    def test_more_bits_less_error(self):
+        values = np.random.default_rng(3).normal(size=256)
+        errors = []
+        for bits in (2, 4, 8):
+            codes, scale, zero = quantize_tensor_uniform(values, bits)
+            errors.append(np.abs(dequantize_uniform(codes, scale, zero) - values).mean())
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestBlockwiseRTN:
+    def test_shape_preserved(self):
+        weight = np.random.default_rng(0).normal(size=(6, 40))
+        out = quantize_blockwise_rtn(weight, QuantizationSpec(bits=4, block_size=16))
+        assert out.shape == weight.shape
+
+    def test_error_reasonable(self):
+        weight = np.random.default_rng(1).normal(size=(8, 64))
+        out = quantize_blockwise_rtn(weight, QuantizationSpec(bits=4, block_size=16))
+        assert quantization_error(weight, out) < 0.1
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            quantize_blockwise_rtn(np.zeros(8), QuantizationSpec())
+
+    def test_error_metric(self):
+        w = np.ones((2, 2))
+        assert quantization_error(w, w) == 0.0
+        assert quantization_error(np.zeros((2, 2)), np.zeros((2, 2))) == 0.0

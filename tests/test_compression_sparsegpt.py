@@ -1,0 +1,122 @@
+"""Tests for SparseGPT-style pruning, magnitude pruning, and footprint accounting."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.compression.footprint import model_memory_footprint, pruned_model_bytes, quantized_model_bytes
+from repro.compression.magnitude import magnitude_prune_linear, magnitude_prune_model
+from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_linear, sparsegpt_prune_model
+from repro.eval.perplexity import dense_perplexity
+
+
+class TestSparseGPTConfig:
+    def test_labels(self):
+        assert SparseGPTConfig(sparsity=0.5).label() == "sparsegpt-unstructured"
+        assert SparseGPTConfig(pattern_n=2, pattern_m=4).label() == "sparsegpt-2:4"
+
+    def test_effective_sparsity(self):
+        assert SparseGPTConfig(sparsity=0.3).effective_sparsity == 0.3
+        assert SparseGPTConfig(pattern_n=4, pattern_m=8).effective_sparsity == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SparseGPTConfig(sparsity=1.0)
+        with pytest.raises(ValueError):
+            SparseGPTConfig(pattern_n=2)
+        with pytest.raises(ValueError):
+            SparseGPTConfig(pattern_n=4, pattern_m=4)
+
+
+class TestSparseGPTLinear:
+    def test_unstructured_sparsity_level(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(16, 64))
+        pruned = sparsegpt_prune_linear(weight, rng.normal(size=(128, 64)), SparseGPTConfig(sparsity=0.5, block_size=16))
+        assert np.mean(pruned == 0) == pytest.approx(0.5, abs=0.05)
+
+    def test_semi_structured_pattern(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(8, 32))
+        pruned = sparsegpt_prune_linear(weight, None, SparseGPTConfig(pattern_n=2, pattern_m=4, block_size=16))
+        reshaped = (pruned != 0).reshape(8, 8, 4)
+        assert np.all(reshaped.sum(axis=-1) == 2)
+
+    def test_error_compensation_beats_plain_magnitude(self):
+        """OBS pruning with compensation must beat magnitude pruning on calibration data."""
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(16, 48))
+        basis = rng.normal(size=(6, 48))
+        calib = rng.normal(size=(256, 6)) @ basis  # low-rank, correlated inputs
+        sparse_gpt = sparsegpt_prune_linear(weight, calib, SparseGPTConfig(sparsity=0.5, block_size=16))
+        magnitude = magnitude_prune_linear(weight, 0.5)
+        err_gpt = np.linalg.norm(calib @ (sparse_gpt - weight).T)
+        err_mag = np.linalg.norm(calib @ (magnitude - weight).T)
+        assert err_gpt < err_mag
+
+    def test_zero_sparsity_is_identity(self):
+        weight = np.random.default_rng(3).normal(size=(4, 16))
+        pruned = sparsegpt_prune_linear(weight, None, SparseGPTConfig(sparsity=0.0))
+        assert np.allclose(pruned, weight)
+
+
+class TestSparseGPTModel:
+    def test_prune_model_and_perplexity(self, trained_tiny_model, calibration_sequences, eval_sequences):
+        model = copy.deepcopy(trained_tiny_model)
+        baseline = dense_perplexity(model, eval_sequences[:2])
+        realised = sparsegpt_prune_model(model, calibration_sequences[:2], SparseGPTConfig(sparsity=0.5, block_size=16))
+        assert len(realised) == 3 * len(model.blocks)
+        assert np.mean(list(realised.values())) == pytest.approx(0.5, abs=0.05)
+        pruned_ppl = dense_perplexity(model, eval_sequences[:2])
+        # 50% one-shot pruning should leave perplexity in the same ballpark
+        # (small fluctuations in either direction are expected on a tiny model).
+        assert np.isfinite(pruned_ppl)
+        assert baseline * 0.8 < pruned_ppl < baseline * 3.0
+
+
+class TestMagnitude:
+    def test_row_sparsity(self):
+        weight = np.random.default_rng(0).normal(size=(8, 20))
+        pruned = magnitude_prune_linear(weight, 0.25)
+        assert np.all((pruned == 0).sum(axis=1) == 5)
+
+    def test_keeps_largest(self):
+        weight = np.array([[1.0, -5.0, 0.1, 3.0]])
+        pruned = magnitude_prune_linear(weight, 0.5)
+        assert pruned[0, 1] == -5.0 and pruned[0, 3] == 3.0
+        assert pruned[0, 0] == 0.0 and pruned[0, 2] == 0.0
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            magnitude_prune_linear(np.zeros((2, 4)), 1.0)
+
+    def test_model_level(self, trained_tiny_model):
+        model = copy.deepcopy(trained_tiny_model)
+        realised = magnitude_prune_model(model, 0.5)
+        assert np.mean(list(realised.values())) == pytest.approx(0.5, abs=0.02)
+
+
+class TestFootprint:
+    def test_quantized_bytes_scale_with_bits(self, tiny_config):
+        b4 = quantized_model_bytes(tiny_config, 4.0)
+        b8 = quantized_model_bytes(tiny_config, 8.0)
+        assert b8.total_bytes > b4.total_bytes
+        assert b4.weight_bytes == pytest.approx(tiny_config.total_parameters() * 0.5)
+
+    def test_pruning_mask_overhead(self, tiny_config):
+        report = pruned_model_bytes(tiny_config, weight_sparsity=0.5, bits_per_weight=4.0)
+        # 1 bit mask per weight = 25% overhead over 4-bit weights (paper §6.2).
+        assert report.mask_overhead_bytes == pytest.approx(report.weight_bytes / 4)
+
+    def test_dynamic_density_scales_mlp_only(self, tiny_config):
+        dense = model_memory_footprint(tiny_config, mlp_density=1.0)
+        half = model_memory_footprint(tiny_config, mlp_density=0.5)
+        saved = dense.total_bytes - half.total_bytes
+        assert saved == pytest.approx(tiny_config.mlp_parameters() * 0.5 * 0.5)
+
+    def test_predictor_overhead(self, tiny_config):
+        with_pred = model_memory_footprint(tiny_config, predictor_fraction=0.15)
+        without = model_memory_footprint(tiny_config)
+        assert with_pred.total_bytes > without.total_bytes
+        assert "GB" in with_pred.describe() or "MB" in with_pred.describe() or "KB" in with_pred.describe()

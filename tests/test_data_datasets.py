@@ -1,0 +1,93 @@
+"""Tests for LM datasets, splits, and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import LMDataset, calibration_batch, iterate_batches, make_splits
+
+
+class TestLMDataset:
+    def test_chunking(self):
+        tokens = np.arange(100)
+        ds = LMDataset(tokens, seq_len=16)
+        assert len(ds) == 6
+        assert ds.n_tokens == 96
+        assert np.array_equal(ds[0], np.arange(16))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            LMDataset(np.arange(5), seq_len=16)
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(ValueError):
+            LMDataset(np.arange(10), seq_len=1)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            LMDataset(np.zeros((4, 4)), seq_len=2)
+
+
+class TestMakeSplits:
+    def test_split_shapes_and_vocab(self):
+        splits = make_splits(n_tokens=8000, seq_len=16, vocab_size=60, seed=0)
+        assert splits.vocab_size == 64
+        assert len(splits.train) > len(splits.validation) > 0
+        assert len(splits.test) > 0
+
+    def test_token_ids_in_model_range(self):
+        splits = make_splits(n_tokens=5000, seq_len=16, vocab_size=60, seed=1)
+        for ds in (splits.train, splits.validation, splits.test):
+            assert ds.sequences.min() >= 4  # specials never appear in corpus text
+            assert ds.sequences.max() < 64
+
+    def test_reproducible(self):
+        a = make_splits(n_tokens=4000, seq_len=16, seed=5)
+        b = make_splits(n_tokens=4000, seq_len=16, seed=5)
+        assert np.array_equal(a.train.sequences, b.train.sequences)
+
+
+class TestBatching:
+    def test_batch_shapes(self):
+        ds = LMDataset(np.arange(320), seq_len=16)
+        batches = list(iterate_batches(ds, batch_size=4, shuffle=False))
+        assert all(b.shape == (4, 16) for b in batches)
+        assert len(batches) == 5
+
+    def test_drop_last(self):
+        ds = LMDataset(np.arange(16 * 5), seq_len=16)
+        assert len(list(iterate_batches(ds, batch_size=2, drop_last=True))) == 2
+        assert len(list(iterate_batches(ds, batch_size=2, drop_last=False))) == 3
+
+    def test_shuffle_seeded(self):
+        ds = LMDataset(np.arange(16 * 8), seq_len=16)
+        a = np.concatenate(list(iterate_batches(ds, 2, shuffle=True, seed=1)))
+        b = np.concatenate(list(iterate_batches(ds, 2, shuffle=True, seed=1)))
+        c = np.concatenate(list(iterate_batches(ds, 2, shuffle=True, seed=2)))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_covers_all_sequences_without_shuffle(self):
+        ds = LMDataset(np.arange(16 * 4), seq_len=16)
+        batches = np.concatenate(list(iterate_batches(ds, 2, shuffle=False)))
+        assert np.array_equal(batches, ds.sequences)
+
+    def test_batch_too_large(self):
+        ds = LMDataset(np.arange(32), seq_len=16)
+        with pytest.raises(ValueError):
+            list(iterate_batches(ds, batch_size=4, drop_last=True))
+
+    def test_invalid_batch_size(self):
+        ds = LMDataset(np.arange(64), seq_len=16)
+        with pytest.raises(ValueError):
+            list(iterate_batches(ds, batch_size=0))
+
+    def test_calibration_batch(self):
+        ds = LMDataset(np.arange(16 * 10), seq_len=16)
+        batch = calibration_batch(ds, 4, seed=0)
+        assert batch.shape == (4, 16)
+        again = calibration_batch(ds, 4, seed=0)
+        assert np.array_equal(batch, again)
+
+    def test_calibration_batch_clamps(self):
+        ds = LMDataset(np.arange(16 * 3), seq_len=16)
+        assert calibration_batch(ds, 10, seed=0).shape[0] == 3

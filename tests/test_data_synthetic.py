@@ -1,0 +1,88 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticCorpus, SyntheticCorpusConfig, generate_corpus
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticCorpusConfig()
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(vocab_size=4)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(noise_level=1.0)
+
+    def test_invalid_branching(self):
+        with pytest.raises(ValueError):
+            SyntheticCorpusConfig(vocab_size=16, branching_factor=32)
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        a = generate_corpus(n_tokens=2000, seed=3)
+        b = generate_corpus(n_tokens=2000, seed=3)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_seed_changes_stream(self):
+        a = generate_corpus(n_tokens=2000, seed=3)
+        b = generate_corpus(n_tokens=2000, seed=4)
+        assert not np.array_equal(a.tokens, b.tokens)
+
+    def test_token_range(self):
+        corpus = generate_corpus(n_tokens=5000, vocab_size=100, seed=0)
+        assert corpus.tokens.min() >= 0
+        assert corpus.tokens.max() < 100
+        assert len(corpus) == 5000
+
+    def test_overrides_on_config(self):
+        base = SyntheticCorpusConfig(n_tokens=1000)
+        corpus = generate_corpus(base, seed=9)
+        assert corpus.config.seed == 9
+        assert corpus.config.n_tokens == 1000
+
+    def test_has_predictive_structure(self):
+        """Bigram entropy must be markedly lower than unigram entropy."""
+        corpus = generate_corpus(n_tokens=30_000, seed=1, vocab_size=64, branching_factor=6)
+        tokens = corpus.tokens
+        vocab = corpus.config.vocab_size
+        unigram = np.bincount(tokens, minlength=vocab) + 1e-9
+        unigram_p = unigram / unigram.sum()
+        h_unigram = -(unigram_p * np.log(unigram_p)).sum()
+        bigram = np.zeros((vocab, vocab)) + 1e-9
+        np.add.at(bigram, (tokens[:-1], tokens[1:]), 1)
+        cond = bigram / bigram.sum(axis=1, keepdims=True)
+        h_cond = -(unigram_p @ (cond * np.log(cond)).sum(axis=1))
+        assert h_cond < h_unigram - 0.5
+
+    def test_zipfian_skew(self):
+        corpus = generate_corpus(n_tokens=30_000, seed=2)
+        counts = np.sort(np.bincount(corpus.tokens, minlength=corpus.config.vocab_size))[::-1]
+        top_decile = counts[: len(counts) // 10].sum() / counts.sum()
+        assert top_decile > 0.2
+
+
+class TestSplit:
+    def test_split_sizes(self):
+        corpus = generate_corpus(n_tokens=10_000, seed=0)
+        train, val, test = corpus.split(0.8, 0.1)
+        assert len(train) == 8000
+        assert len(val) == 1000
+        assert len(train) + len(val) + len(test) == 10_000
+
+    def test_invalid_fractions(self):
+        corpus = generate_corpus(n_tokens=1000, seed=0)
+        with pytest.raises(ValueError):
+            corpus.split(0.9, 0.2)
+        with pytest.raises(ValueError):
+            corpus.split(1.5, 0.1)
+
+    def test_unigram_perplexity_below_vocab(self):
+        corpus = generate_corpus(n_tokens=20_000, seed=0)
+        ppl = corpus.unigram_perplexity()
+        assert 1.0 < ppl < corpus.config.vocab_size

@@ -1,0 +1,85 @@
+"""Tests for the synthetic downstream tasks."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_corpus
+from repro.data.tasks import TASK_NAMES, TaskConfig, build_task, build_task_from_config, build_task_suite
+from repro.data.tokenizer import Tokenizer
+
+
+class TestBuildTask:
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            build_task("not-a-task")
+
+    def test_example_counts_and_shapes(self):
+        task = build_task("mmlu", n_examples=12, seed=0)
+        assert len(task) == 12
+        example = task[0]
+        assert len(example.choices) == 4
+        assert 0 <= example.answer_index < 4
+        assert example.context.ndim == 1
+
+    def test_answer_is_true_continuation(self):
+        """The correct choice must be the fragment that actually followed the context."""
+        corpus = generate_corpus(n_tokens=20_000, seed=3)
+        tokenizer = Tokenizer(corpus.config.vocab_size + 4)
+        corpus_ids = tokenizer.encode_corpus(corpus.tokens)
+        task = build_task("arc-easy", corpus=corpus, tokenizer=tokenizer, n_examples=8, seed=1)
+        joined = "".join(chr(int(t)) for t in corpus_ids)
+        for example in task.examples:
+            answer = example.choices[example.answer_index]
+            window = "".join(chr(int(t)) for t in np.concatenate([example.context[-8:], answer]))
+            assert window in joined
+
+    def test_reproducible(self):
+        a = build_task("piqa", n_examples=6, seed=9)
+        b = build_task("piqa", n_examples=6, seed=9)
+        for ea, eb in zip(a.examples, b.examples):
+            assert np.array_equal(ea.context, eb.context)
+            assert ea.answer_index == eb.answer_index
+
+    def test_few_shot_prompt_longer(self):
+        zero = build_task("mmlu", n_examples=4, n_shots=0, seed=2)
+        few = build_task("mmlu", n_examples=4, n_shots=3, seed=2)
+        assert few[0].context.size > zero[0].context.size
+
+    def test_choices_are_distinct(self):
+        task = build_task("hellaswag", n_examples=10, seed=4)
+        for example in task.examples:
+            for i in range(len(example.choices)):
+                for j in range(i + 1, len(example.choices)):
+                    assert not np.array_equal(example.choices[i], example.choices[j])
+
+    def test_full_sequence_concatenates(self):
+        task = build_task("boolq", n_examples=2, seed=5)
+        example = task[0]
+        seq = example.full_sequence(0)
+        assert seq.size == example.context.size + example.choices[0].size
+
+    def test_random_baseline(self):
+        assert build_task("boolq", n_examples=2).random_baseline_accuracy() == 0.5
+        assert build_task("mmlu", n_examples=2).random_baseline_accuracy() == 0.25
+
+
+class TestTaskSuite:
+    def test_all_families_present(self):
+        suite = build_task_suite(n_examples=2, seed=0)
+        assert set(suite) == set(TASK_NAMES)
+
+    def test_subset(self):
+        suite = build_task_suite(["mmlu", "piqa"], n_examples=2, seed=0)
+        assert set(suite) == {"mmlu", "piqa"}
+
+    def test_shared_corpus_by_default(self):
+        suite = build_task_suite(["arc-easy", "arc-challenge"], n_examples=2, seed=0)
+        assert suite["arc-easy"].tokenizer.vocab_size == suite["arc-challenge"].tokenizer.vocab_size
+
+
+class TestTaskConfig:
+    def test_config_round_trip(self):
+        config = TaskConfig(name="custom", n_examples=3, n_choices=2, context_len=8, continuation_len=2)
+        task = build_task_from_config(config)
+        assert len(task) == 3
+        assert task.name == "custom"

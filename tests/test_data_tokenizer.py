@@ -1,0 +1,68 @@
+"""Tests for the tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.data.tokenizer import Tokenizer
+
+
+class TestTokenizer:
+    def test_special_ids_distinct(self):
+        tok = Tokenizer(64)
+        ids = {tok.pad_id, tok.bos_id, tok.eos_id, tok.sep_id}
+        assert len(ids) == 4
+        assert max(ids) < 4
+
+    def test_vocab_size(self):
+        tok = Tokenizer(64)
+        assert len(tok) == 64
+        assert tok.n_symbols == 60
+
+    def test_too_small_vocab(self):
+        with pytest.raises(ValueError):
+            Tokenizer(4)
+
+    def test_symbol_round_trip(self):
+        tok = Tokenizer(32)
+        for symbol in (0, 5, 27):
+            assert tok.id_to_symbol(tok.symbol_to_id(symbol)) == symbol
+
+    def test_symbol_out_of_range(self):
+        tok = Tokenizer(16)
+        with pytest.raises(ValueError):
+            tok.symbol_to_id(12)
+
+    def test_specials_map_to_negative_symbol(self):
+        tok = Tokenizer(16)
+        assert tok.id_to_symbol(tok.bos_id) == -1
+
+    def test_encode_decode_text(self):
+        tok = Tokenizer(16)
+        text = "s0 s3 <sep> s1"
+        ids = tok.encode(text)
+        assert tok.decode(ids) == text
+
+    def test_encode_unknown_token(self):
+        tok = Tokenizer(16)
+        with pytest.raises(KeyError):
+            tok.encode("zzz")
+
+    def test_encode_with_bos(self):
+        tok = Tokenizer(16)
+        ids = tok.encode("s1", add_bos=True)
+        assert ids[0] == tok.bos_id
+
+    def test_encode_symbols(self):
+        tok = Tokenizer(16)
+        ids = tok.encode_symbols([0, 1, 2])
+        assert list(ids) == [4, 5, 6]
+
+    def test_encode_corpus_shifts(self):
+        tok = Tokenizer(16)
+        corpus = np.array([0, 3, 11])
+        assert list(tok.encode_corpus(corpus)) == [4, 7, 15]
+
+    def test_encode_corpus_range_check(self):
+        tok = Tokenizer(16)
+        with pytest.raises(ValueError):
+            tok.encode_corpus(np.array([12]))

@@ -1,0 +1,49 @@
+"""Tests for device specs."""
+
+import pytest
+
+from repro.hwsim.device import APPLE_A18, DEVICE_PRESETS, DeviceSpec, get_device, list_devices
+from repro.utils.units import GB
+
+
+class TestDeviceSpec:
+    def test_apple_a18_defaults_match_paper(self):
+        assert APPLE_A18.dram_bandwidth == 60.0 * GB
+        assert APPLE_A18.flash_read_bandwidth == 1.0 * GB
+        assert APPLE_A18.dram_capacity_bytes == 4.0 * GB
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="x", dram_capacity_bytes=1, dram_bandwidth=0, flash_read_bandwidth=1)
+
+    def test_with_dram(self):
+        spec = APPLE_A18.with_dram(2 * GB)
+        assert spec.dram_capacity_bytes == 2 * GB
+        assert spec.dram_bandwidth == APPLE_A18.dram_bandwidth
+
+    def test_with_flash_bandwidth(self):
+        spec = APPLE_A18.with_flash_bandwidth(2 * GB)
+        assert spec.flash_read_bandwidth == 2 * GB
+
+    def test_transfer_latency(self):
+        spec = DeviceSpec(name="t", dram_capacity_bytes=0, dram_bandwidth=10.0, flash_read_bandwidth=1.0)
+        assert spec.transfer_latency(dram_bytes=10.0, flash_bytes=2.0) == pytest.approx(3.0)
+
+    def test_flash_dominates_latency(self):
+        """At the paper's bandwidths a Flash byte costs 60x a DRAM byte."""
+        latency_dram = APPLE_A18.transfer_latency(1 * GB, 0)
+        latency_flash = APPLE_A18.transfer_latency(0, 1 * GB)
+        assert latency_flash / latency_dram == pytest.approx(60.0)
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        assert "apple-a18" in DEVICE_PRESETS
+        assert set(list_devices()) == set(DEVICE_PRESETS)
+
+    def test_get_device(self):
+        assert get_device("apple-a18") is APPLE_A18
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("pixel-42")

@@ -1,0 +1,117 @@
+"""Tests for the weight memory layout and method memory models."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.memory import MethodMemoryModel, WeightGroup, WeightMemoryLayout, build_layout
+from repro.nn.model_zoo import get_model_spec
+from repro.sparsity.dip import DynamicInputPruning
+from repro.sparsity.gate_pruning import UpPruning
+from repro.sparsity.predictive import PredictiveGLUPruning
+from repro.utils.units import GB
+
+
+class TestWeightGroup:
+    def test_total_bytes(self):
+        group = WeightGroup(layer_index=0, matrix="up", axis="input", n_units=10, unit_bytes=4.0, keep_fraction=0.5)
+        assert group.total_bytes == 40.0
+        assert group.average_active_units == 5.0
+        assert not group.is_dense
+
+    def test_dense_group(self):
+        group = WeightGroup(0, "down", "neuron", 10, 2.0, None)
+        assert group.is_dense
+        assert group.average_active_units == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightGroup(0, "sideways", "neuron", 10, 2.0)
+        with pytest.raises(ValueError):
+            WeightGroup(0, "up", "diagonal", 10, 2.0)
+        with pytest.raises(ValueError):
+            WeightGroup(0, "up", "input", 10, 2.0, keep_fraction=1.5)
+
+
+class TestMethodMemoryModel:
+    def test_dense_plan(self):
+        model = MethodMemoryModel.dense()
+        assert all(keep is None for _, keep in model.plan.values())
+
+    def test_from_dip(self, tiny_config):
+        dip = DynamicInputPruning(0.5)
+        model = MethodMemoryModel.from_method(dip, tiny_config)
+        assert model.plan["up"][0] == "input"
+        assert model.plan["down"][0] == "neuron"
+        assert model.extra_static_bytes == 0.0
+
+    def test_dejavu_predictor_overhead(self, tiny_config):
+        method = PredictiveGLUPruning(0.5, predictors=[], predictor_hidden=100)
+        model = MethodMemoryModel.from_method(method, tiny_config)
+        assert model.extra_static_bytes > 0
+
+
+class TestWeightMemoryLayout:
+    def test_group_count(self, tiny_config):
+        layout = build_layout(tiny_config)
+        assert len(layout.groups) == tiny_config.n_layers * 3
+
+    def test_mlp_bytes_match_config(self, tiny_config):
+        layout = build_layout(tiny_config, bits_per_weight=4.0)
+        assert layout.mlp_bytes() == pytest.approx(tiny_config.mlp_parameters() * 0.5)
+
+    def test_total_model_bytes(self, tiny_config):
+        layout = build_layout(tiny_config, bits_per_weight=8.0)
+        expected_weights = tiny_config.total_parameters() * 1.0
+        assert layout.total_model_bytes() == pytest.approx(expected_weights, rel=0.05)
+
+    def test_static_includes_kv_cache(self, tiny_config):
+        with_kv = build_layout(tiny_config, kv_cache_seq_len=64)
+        more_kv = build_layout(tiny_config, kv_cache_seq_len=128)
+        assert more_kv.static_bytes() > with_kv.static_bytes()
+
+    def test_density_dense_is_one(self, tiny_config):
+        assert build_layout(tiny_config).average_mlp_density() == pytest.approx(1.0)
+
+    def test_density_matches_method(self, tiny_config):
+        dip = DynamicInputPruning(0.5)
+        layout = build_layout(tiny_config, dip)
+        assert layout.average_mlp_density() == pytest.approx(0.5, abs=0.02)
+
+    def test_up_pruning_density(self, tiny_config):
+        method = UpPruning(0.5)
+        layout = build_layout(tiny_config, method)
+        assert layout.average_mlp_density() == pytest.approx(0.5, abs=0.02)
+
+    def test_cache_allocation_respects_budget(self, tiny_config):
+        layout = build_layout(tiny_config, DynamicInputPruning(0.5))
+        budget = layout.static_bytes() + 0.4 * layout.mlp_bytes()
+        allocation = layout.cache_allocation(budget)
+        allocated_bytes = sum(
+            allocation[(g.layer_index, g.matrix)] * g.unit_bytes for g in layout.groups
+        )
+        assert allocated_bytes <= 0.4 * layout.mlp_bytes() + 1e-6
+
+    def test_cache_allocation_zero_when_static_exceeds_dram(self, tiny_config):
+        layout = build_layout(tiny_config)
+        allocation = layout.cache_allocation(0.0)
+        assert all(v == 0 for v in allocation.values())
+
+    def test_describe_keys(self, tiny_config):
+        info = build_layout(tiny_config).describe()
+        for key in ("static_weight_bytes", "kv_cache_bytes", "mlp_bytes", "total_model_bytes"):
+            assert key in info
+
+
+class TestPaperScale:
+    def test_phi3_medium_int4_total(self):
+        spec = get_model_spec("phi3-medium")
+        layout = build_layout(spec.paper_config, bits_per_weight=4.0, kv_cache_seq_len=2048)
+        assert 6.0 * GB < layout.total_model_bytes() < 8.0 * GB
+        # MLP holds the large majority of bytes.
+        assert layout.mlp_bytes() / layout.total_model_bytes() > 0.7
+
+    def test_static_fits_in_table2_dram(self):
+        for name in ("phi3-medium", "phi3-mini", "llama3-8b", "mistral-7b"):
+            spec = get_model_spec(name)
+            layout = build_layout(spec.paper_config, bits_per_weight=4.0, kv_cache_seq_len=2048)
+            assert layout.static_bytes() < spec.table2_dram_bytes

@@ -1,0 +1,124 @@
+"""Tests for grouped-query attention, RoPE, and the KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.attention import AttentionConfig, GroupedQueryAttention, KVCache, RotaryEmbedding
+
+
+@pytest.fixture()
+def attention():
+    return GroupedQueryAttention(
+        AttentionConfig(d_model=32, n_heads=4, n_kv_heads=2, max_seq_len=64), seed=0
+    )
+
+
+class TestConfig:
+    def test_head_dim(self):
+        cfg = AttentionConfig(d_model=32, n_heads=4, n_kv_heads=2)
+        assert cfg.head_dim == 8
+        assert cfg.group_size == 2
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            AttentionConfig(d_model=30, n_heads=4, n_kv_heads=2)
+        with pytest.raises(ValueError):
+            AttentionConfig(d_model=32, n_heads=4, n_kv_heads=3)
+
+
+class TestRotaryEmbedding:
+    def test_norm_preserved(self):
+        rope = RotaryEmbedding(head_dim=8, max_seq_len=16)
+        x = np.random.default_rng(0).normal(size=(2, 10, 8))
+        rotated = rope.rotate(x)
+        assert np.allclose(np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1))
+
+    def test_position_zero_identity(self):
+        rope = RotaryEmbedding(head_dim=4, max_seq_len=8)
+        x = np.random.default_rng(1).normal(size=(1, 1, 4))
+        assert np.allclose(rope.rotate(x, position_offset=0), x)
+
+    def test_offset_consistency(self):
+        """Rotating positions [2,3] with offset 2 equals rotating [0..3] and slicing."""
+        rope = RotaryEmbedding(head_dim=8, max_seq_len=16)
+        x = np.random.default_rng(2).normal(size=(1, 4, 8))
+        full = rope.rotate(x)
+        partial = rope.rotate(x[:, 2:], position_offset=2)
+        assert np.allclose(full[:, 2:], partial)
+
+    def test_overflow_raises(self):
+        rope = RotaryEmbedding(head_dim=4, max_seq_len=4)
+        with pytest.raises(ValueError):
+            rope.rotate(np.zeros((1, 5, 4)))
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            RotaryEmbedding(head_dim=5, max_seq_len=4)
+
+
+class TestKVCache:
+    def test_append_and_length(self):
+        cache = KVCache(n_kv_heads=2, head_dim=4, max_seq_len=8)
+        k = np.ones((2, 3, 4))
+        keys, values = cache.append(k, k * 2)
+        assert cache.length == 3
+        assert keys.shape == (2, 3, 4)
+        assert np.allclose(values, 2.0)
+
+    def test_overflow(self):
+        cache = KVCache(2, 4, max_seq_len=2)
+        cache.append(np.zeros((2, 2, 4)), np.zeros((2, 2, 4)))
+        with pytest.raises(RuntimeError):
+            cache.append(np.zeros((2, 1, 4)), np.zeros((2, 1, 4)))
+
+    def test_reset(self):
+        cache = KVCache(1, 2, 4)
+        cache.append(np.zeros((1, 2, 2)), np.zeros((1, 2, 2)))
+        cache.reset()
+        assert cache.length == 0
+
+    def test_memory_bytes(self):
+        cache = KVCache(2, 4, 8)
+        assert cache.memory_bytes(2.0) == 2 * 2 * 8 * 4 * 2.0
+
+
+class TestAttention:
+    def test_training_vs_inference_paths(self, attention):
+        x = np.random.default_rng(0).normal(size=(10, 32))
+        train_out = attention(Tensor(x[None, :, :])).data[0]
+        infer_out = attention.forward_array(x)
+        assert np.allclose(train_out, infer_out, atol=1e-10)
+
+    def test_kv_cache_incremental_matches_full(self, attention):
+        x = np.random.default_rng(1).normal(size=(12, 32))
+        full = attention.forward_array(x)
+        cache = attention.new_cache(12)
+        partial = [attention.forward_array(x[:6], kv_cache=cache)]
+        for t in range(6, 12):
+            partial.append(attention.forward_array(x[t : t + 1], kv_cache=cache))
+        assert np.allclose(np.concatenate(partial, axis=0), full, atol=1e-10)
+
+    def test_causality(self, attention):
+        """Changing a future token must not affect earlier outputs."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(8, 32))
+        out_a = attention.forward_array(x)
+        x_modified = x.copy()
+        x_modified[-1] += 10.0
+        out_b = attention.forward_array(x_modified)
+        assert np.allclose(out_a[:-1], out_b[:-1])
+        assert not np.allclose(out_a[-1], out_b[-1])
+
+    def test_gradient_flows(self, attention):
+        x = Tensor(np.random.default_rng(3).normal(size=(1, 5, 32)), requires_grad=True)
+        out = (attention(x) ** 2).sum()
+        out.backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_mqa_group_expansion(self):
+        """n_kv_heads=1 (multi-query attention) still runs both paths consistently."""
+        attn = GroupedQueryAttention(AttentionConfig(d_model=16, n_heads=4, n_kv_heads=1, max_seq_len=16), seed=1)
+        x = np.random.default_rng(4).normal(size=(6, 16))
+        assert np.allclose(attn(Tensor(x[None])).data[0], attn.forward_array(x), atol=1e-10)

@@ -1,0 +1,174 @@
+"""Tests for Module/Parameter plumbing, Linear, Embedding, norms, activations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.gradcheck import check_gradients
+from repro.autograd.tensor import Tensor
+from repro.nn.activations import GELU, Identity, ReLU, SiLU, get_activation
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.norm import LayerNorm, RMSNorm
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros((2, 2)))
+                self.inner = Linear(2, 3)
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "w" in names
+        assert "inner.weight" in names
+
+    def test_num_parameters(self):
+        linear = Linear(4, 6, bias=True)
+        assert linear.num_parameters() == 4 * 6 + 6
+
+    def test_state_dict_round_trip(self):
+        a, b = Linear(3, 5, seed=0), Linear(3, 5, seed=1)
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_is_copy(self):
+        linear = Linear(2, 2, seed=0)
+        state = linear.state_dict()
+        state["weight"][:] = 0
+        assert not np.allclose(linear.weight.data, 0)
+
+    def test_load_state_dict_strict_mismatch(self):
+        linear = Linear(2, 2)
+        with pytest.raises(KeyError):
+            linear.load_state_dict({"bogus": np.zeros(2)})
+
+    def test_load_state_dict_shape_mismatch(self):
+        linear = Linear(2, 2)
+        with pytest.raises(ValueError):
+            linear.load_state_dict({"weight": np.zeros((3, 3))})
+
+    def test_train_eval_propagates(self):
+        outer = ModuleList([Linear(2, 2), Linear(2, 2)])
+        outer.eval()
+        assert all(not m.training for m in outer)
+        outer.train()
+        assert all(m.training for m in outer)
+
+    def test_zero_grad(self):
+        linear = Linear(2, 2)
+        linear.weight.grad = np.ones((2, 2))
+        linear.zero_grad()
+        assert linear.weight.grad is None
+
+    def test_module_list_indexing(self):
+        items = ModuleList([Linear(2, 2), Linear(2, 3)])
+        assert len(items) == 2
+        assert items[1].out_features == 3
+        with pytest.raises(RuntimeError):
+            items(Tensor(np.zeros((1, 2))))
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        linear = Linear(4, 3, bias=True, seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        expected = x @ linear.weight.data.T + linear.bias.data
+        assert np.allclose(linear(Tensor(x)).data, expected)
+        assert np.allclose(linear.forward_array(x), expected)
+
+    def test_gradients(self):
+        linear = Linear(3, 2, bias=True, seed=1)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+        check_gradients(lambda x: (linear(x) ** 2).sum(), [x])
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_seeded_init_reproducible(self):
+        assert np.allclose(Linear(3, 3, seed=7).weight.data, Linear(3, 3, seed=7).weight.data)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, seed=0)
+        ids = np.array([1, 5, 5])
+        out = emb(ids)
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data, emb.weight.data[ids])
+        assert np.allclose(emb.forward_array(ids), out.data)
+
+    def test_out_of_range(self):
+        emb = Embedding(4, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([4]))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+
+class TestNorms:
+    def test_rmsnorm_unit_scale(self):
+        norm = RMSNorm(8)
+        x = np.random.default_rng(0).normal(size=(5, 8)) * 10
+        out = norm.forward_array(x)
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_rmsnorm_paths_match(self):
+        norm = RMSNorm(6)
+        x = np.random.default_rng(1).normal(size=(3, 6))
+        assert np.allclose(norm(Tensor(x)).data, norm.forward_array(x))
+
+    def test_rmsnorm_gradient(self):
+        norm = RMSNorm(4)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda x: (norm(x) ** 2).sum(), [x], atol=1e-4)
+
+    def test_layernorm_zero_mean(self):
+        norm = LayerNorm(8)
+        x = np.random.default_rng(0).normal(size=(4, 8)) + 5
+        out = norm.forward_array(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+
+    def test_layernorm_paths_match(self):
+        norm = LayerNorm(5)
+        x = np.random.default_rng(3).normal(size=(2, 5))
+        assert np.allclose(norm(Tensor(x)).data, norm.forward_array(x))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            RMSNorm(0)
+
+
+class TestActivations:
+    def test_registry(self):
+        assert isinstance(get_activation("silu"), SiLU)
+        assert isinstance(get_activation("RELU"), ReLU)
+        assert isinstance(get_activation("gelu"), GELU)
+        assert isinstance(get_activation("identity"), Identity)
+
+    def test_unknown_activation(self):
+        with pytest.raises(KeyError):
+            get_activation("mish")
+
+    @pytest.mark.parametrize("name", ["silu", "relu", "gelu", "identity"])
+    def test_paths_match(self, name):
+        act = get_activation(name)
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        assert np.allclose(act(Tensor(x)).data, act.forward_array(x), atol=1e-10)
+
+    def test_relu_sparsity(self):
+        act = ReLU()
+        x = np.random.default_rng(0).normal(size=1000)
+        assert np.mean(act.forward_array(x) == 0) > 0.4
+
+    def test_silu_no_hard_zeros(self):
+        act = SiLU()
+        x = np.random.default_rng(0).normal(size=1000)
+        assert np.mean(act.forward_array(x) == 0) < 0.01

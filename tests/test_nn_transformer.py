@@ -1,0 +1,126 @@
+"""Tests for TransformerConfig, TransformerBlock and CausalLM."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.transformer import CausalLM, TransformerConfig
+
+
+class TestTransformerConfig:
+    def test_parameter_counts_consistent(self, tiny_config):
+        total = tiny_config.total_parameters()
+        parts = (
+            tiny_config.mlp_parameters()
+            + tiny_config.attention_parameters()
+            + tiny_config.embedding_parameters()
+        )
+        assert total >= parts
+        assert tiny_config.mlp_fraction() < 1.0
+
+    def test_model_matches_config_counts(self, tiny_config, tiny_model):
+        breakdown = tiny_model.parameter_breakdown()
+        assert breakdown["mlp"] == tiny_config.mlp_parameters()
+        assert breakdown["attention"] == tiny_config.attention_parameters()
+        assert breakdown["embedding"] == tiny_config.embedding_parameters()
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=0, d_model=8, n_layers=1, n_heads=2, n_kv_heads=1, d_ffn=16)
+
+    def test_sub_configs(self, tiny_config):
+        assert tiny_config.attention_config().d_model == tiny_config.d_model
+        assert tiny_config.mlp_config().d_ffn == tiny_config.d_ffn
+
+
+class TestCausalLM:
+    def test_forward_shapes(self, tiny_model, tiny_config):
+        ids = np.random.default_rng(0).integers(0, tiny_config.vocab_size, size=(2, 12))
+        logits = tiny_model.forward(ids)
+        assert logits.shape == (2, 12, tiny_config.vocab_size)
+
+    def test_loss_scalar_and_finite(self, tiny_model, tiny_config):
+        ids = np.random.default_rng(1).integers(0, tiny_config.vocab_size, size=(2, 10))
+        loss = tiny_model.loss(ids)
+        assert loss.size == 1
+        assert np.isfinite(loss.data)
+
+    def test_untrained_loss_near_uniform(self, tiny_model, tiny_config):
+        ids = np.random.default_rng(2).integers(0, tiny_config.vocab_size, size=(4, 16))
+        loss = float(tiny_model.loss(ids).data)
+        assert abs(loss - np.log(tiny_config.vocab_size)) < 1.0
+
+    def test_train_and_inference_paths_match(self, tiny_model, tiny_config):
+        ids = np.random.default_rng(3).integers(0, tiny_config.vocab_size, size=14)
+        train_logits = tiny_model.forward(ids[None, :]).data[0]
+        infer_logits = tiny_model.forward_array(ids)
+        assert np.allclose(train_logits, infer_logits, atol=1e-9)
+
+    def test_kv_cache_decode_matches_full(self, tiny_model, tiny_config):
+        ids = np.random.default_rng(4).integers(0, tiny_config.vocab_size, size=12)
+        full = tiny_model.forward_array(ids)
+        caches = tiny_model.new_kv_caches(12)
+        outputs = [tiny_model.forward_array(ids[:4], kv_caches=caches)]
+        for t in range(4, 12):
+            outputs.append(tiny_model.forward_array(ids[t : t + 1], kv_caches=caches))
+        assert np.allclose(np.concatenate(outputs, axis=0), full, atol=1e-9)
+
+    def test_forward_array_rejects_batch(self, tiny_model):
+        with pytest.raises(ValueError):
+            tiny_model.forward_array(np.zeros((2, 4), dtype=np.int64))
+
+    def test_generate_greedy_deterministic(self, tiny_model):
+        a = tiny_model.generate([1, 2, 3], max_new_tokens=5, temperature=0.0)
+        b = tiny_model.generate([1, 2, 3], max_new_tokens=5, temperature=0.0)
+        assert np.array_equal(a, b)
+        assert len(a) == 8
+
+    def test_generate_sampling_seeded(self, tiny_model):
+        a = tiny_model.generate([1, 2], max_new_tokens=4, temperature=1.0, rng=0)
+        b = tiny_model.generate([1, 2], max_new_tokens=4, temperature=1.0, rng=0)
+        assert np.array_equal(a, b)
+
+    def test_mlp_override_inference(self, tiny_model, tiny_config):
+        """Zeroing the MLP via override must change outputs but keep shapes."""
+        ids = np.random.default_rng(5).integers(0, tiny_config.vocab_size, size=8)
+        dense = tiny_model.forward_array(ids)
+        zeroed = tiny_model.forward_array(ids, mlp_override=lambda block, x: np.zeros_like(x))
+        assert dense.shape == zeroed.shape
+        assert not np.allclose(dense, zeroed)
+
+    def test_mlp_override_training_path(self, tiny_model, tiny_config):
+        ids = np.random.default_rng(6).integers(0, tiny_config.vocab_size, size=(1, 6))
+        override = lambda block, x: block.mlp(x) * 0.0
+        logits = tiny_model.forward(ids, mlp_override=override)
+        assert logits.shape == (1, 6, tiny_config.vocab_size)
+
+    def test_mlps_property(self, tiny_model, tiny_config):
+        assert len(tiny_model.mlps) == tiny_config.n_layers
+        assert tiny_model.mlp_dimensions() == (
+            tiny_config.n_layers,
+            tiny_config.d_model,
+            tiny_config.d_ffn,
+        )
+
+    def test_untied_head(self):
+        config = TransformerConfig(
+            vocab_size=32, d_model=16, n_layers=1, n_heads=2, n_kv_heads=1, d_ffn=32, tie_embeddings=False
+        )
+        model = CausalLM(config, seed=0)
+        assert model.lm_head is not None
+        ids = np.arange(6)
+        assert model.forward_array(ids).shape == (6, 32)
+
+    def test_training_reduces_loss(self, tiny_config, tiny_splits):
+        from repro.autograd.optim import Adam
+
+        model = CausalLM(tiny_config, seed=9)
+        batch = tiny_splits.train.sequences[:8]
+        initial = float(model.loss(batch).data)
+        opt = Adam(model.parameters(), lr=3e-3)
+        for _ in range(25):
+            model.zero_grad()
+            loss = model.loss(batch)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < initial - 0.3

@@ -1,0 +1,93 @@
+"""Tests for the Appendix-B.1 density allocation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.density import (
+    AllocationModel,
+    DIPDensityAllocation,
+    allocate_dip_densities,
+    allocation_grid,
+    expit,
+    fit_allocation_model,
+    logit,
+)
+
+
+class TestTransforms:
+    def test_logit_expit_inverse(self):
+        p = np.array([0.1, 0.5, 0.9])
+        assert np.allclose(expit(logit(p)), p)
+
+    def test_logit_clipped(self):
+        assert np.isfinite(logit(np.array([0.0, 1.0]))).all()
+
+
+class TestAllocation:
+    def test_mlp_density_formula(self):
+        allocation = DIPDensityAllocation(input_density=0.6, down_density=0.3)
+        assert allocation.mlp_density == pytest.approx((2 * 0.6 + 0.3) / 3)
+
+    def test_invalid_allocation(self):
+        with pytest.raises(ValueError):
+            DIPDensityAllocation(0.0, 0.5)
+
+    @pytest.mark.parametrize("target", [0.2, 0.4, 0.5, 0.6, 0.8, 0.95])
+    def test_allocation_hits_target_exactly(self, target):
+        allocation = allocate_dip_densities(target)
+        assert allocation.mlp_density == pytest.approx(target, abs=1e-3)
+
+    def test_full_density(self):
+        allocation = allocate_dip_densities(1.0)
+        assert allocation.input_density == 1.0 and allocation.down_density == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            allocate_dip_densities(0.0)
+
+    def test_default_model_biases_input_density(self):
+        """Default allocation keeps inputs denser than down neurons (heavy-tailed GLU)."""
+        allocation = allocate_dip_densities(0.5)
+        assert allocation.input_density > allocation.down_density
+
+
+class TestFitAllocationModel:
+    def test_fit_is_consistent_on_the_front(self):
+        """The fitted logit-linear model must reproduce the Pareto-front trials."""
+        true = AllocationModel(input_slope=1.0, input_intercept=0.5, down_slope=1.0, down_intercept=-0.5)
+        targets = np.linspace(0.2, 0.8, 12)
+        input_d = np.array([true.input_density(m) for m in targets])
+        down_d = np.array([true.down_density(m) for m in targets])
+        # Perplexity decreasing in density; these trials form the front.
+        ppl = 10.0 - 5.0 * (2 * input_d + down_d) / 3
+        # Add clearly dominated trials that the Pareto filter must discard.
+        bad_input = np.clip(input_d * 0.5, 0.01, 1.0)
+        bad_ppl = ppl + 3.0
+        model, front = fit_allocation_model(
+            np.concatenate([input_d, bad_input]),
+            np.concatenate([down_d, down_d]),
+            np.concatenate([ppl, bad_ppl]),
+        )
+        assert len(front) >= 10
+        mlp_front = (2 * input_d + down_d) / 3
+        predicted_input = np.array([model.input_density(m) for m in mlp_front])
+        predicted_down = np.array([model.down_density(m) for m in mlp_front])
+        assert np.allclose(predicted_input, input_d, atol=0.05)
+        assert np.allclose(predicted_down, down_d, atol=0.05)
+        # And it preserves the planted ordering: inputs denser than down neurons.
+        assert model.input_density(0.5) > model.down_density(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_allocation_model([0.5], [0.5, 0.6], [1.0, 2.0])
+
+    def test_too_few_trials(self):
+        with pytest.raises(ValueError):
+            fit_allocation_model([0.5, 0.6], [0.5, 0.6], [1.0, 2.0])
+
+
+class TestGrid:
+    def test_cartesian_grid(self):
+        grid = allocation_grid([0.25, 0.5], [0.5, 0.75, 1.0])
+        assert len(grid) == 6
+        assert grid[0].input_density == 0.25

@@ -1,0 +1,100 @@
+"""Tests for Dynamic Input Pruning (Eq. 7-8) and its density allocation."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.base import masks_mlp_density
+from repro.sparsity.density import DIPDensityAllocation
+from repro.sparsity.dip import DynamicInputPruning
+from repro.sparsity.glu_pruning import GLUPruning
+
+
+@pytest.fixture()
+def mlp(trained_tiny_model):
+    return trained_tiny_model.blocks[0].mlp
+
+
+@pytest.fixture()
+def x(trained_tiny_model):
+    return np.random.default_rng(7).normal(size=(10, trained_tiny_model.config.d_model))
+
+
+class TestMasks:
+    def test_mask_shapes_and_axes(self, mlp, x):
+        method = DynamicInputPruning(0.5)
+        masks = method.compute_masks(mlp, 0, x)
+        assert masks.input_mask.shape == (10, mlp.d_model)
+        assert masks.down_mask.shape == (10, mlp.d_ffn)
+        assert masks.up_axis == "input" and masks.gate_axis == "input"
+        assert np.array_equal(masks.up_mask, masks.input_mask)
+
+    def test_input_mask_keeps_largest_inputs(self, mlp, x):
+        method = DynamicInputPruning(0.5)
+        masks = method.compute_masks(mlp, 0, x)
+        for t in range(x.shape[0]):
+            kept = np.abs(x[t])[masks.input_mask[t]]
+            dropped = np.abs(x[t])[~masks.input_mask[t]]
+            if dropped.size:
+                assert kept.min() >= dropped.max() - 1e-12
+
+    def test_down_mask_uses_pruned_glu(self, mlp, x):
+        """Eq. 8: the down mask ranks the *approximate* GLU from the pruned input."""
+        method = DynamicInputPruning(0.5)
+        masks = method.compute_masks(mlp, 0, x)
+        glu_pruned = np.abs(mlp.glu_activations_array(x * masks.input_mask))
+        for t in range(x.shape[0]):
+            kept = glu_pruned[t][masks.down_mask[t]]
+            dropped = glu_pruned[t][~masks.down_mask[t]]
+            assert kept.min() >= dropped.max() - 1e-12
+
+    def test_density_matches_target(self, mlp, x, trained_tiny_model):
+        cfg = trained_tiny_model.config
+        for density in (0.3, 0.5, 0.7):
+            method = DynamicInputPruning(density)
+            masks = method.compute_masks(mlp, 0, x)
+            measured = masks_mlp_density(masks, cfg.d_model, cfg.d_ffn)
+            assert measured == pytest.approx(density, abs=0.06)
+
+    def test_full_density_is_dense(self, mlp, x):
+        method = DynamicInputPruning(1.0)
+        out = method.sparse_forward(mlp, 0, x)
+        assert np.allclose(out, mlp.forward_array(x))
+
+    def test_explicit_allocation(self, mlp, x):
+        allocation = DIPDensityAllocation(input_density=0.8, down_density=0.2)
+        method = DynamicInputPruning(0.5, allocation=allocation)
+        assert method.input_keep_fraction == 0.8
+        assert method.neuron_keep_fraction == 0.2
+        masks = method.compute_masks(mlp, 0, x)
+        assert np.all(masks.input_mask.sum(axis=-1) == int(round(0.8 * mlp.d_model)))
+
+    def test_memory_plan(self):
+        method = DynamicInputPruning(0.5)
+        plan = method.memory_plan()
+        assert plan["up"][0] == "input"
+        assert plan["down"][0] == "neuron"
+        assert plan["up"][1] == pytest.approx(method.input_keep_fraction)
+
+    def test_describe(self):
+        info = DynamicInputPruning(0.5).describe()
+        assert "input_density" in info and "down_density" in info
+
+
+class TestAccuracyOrdering:
+    def test_dip_better_than_aggressive_input_only(self, mlp, x):
+        """Splitting the budget (DIP) beats spending it all on the input mask."""
+        dense = mlp.forward_array(x)
+        dip = DynamicInputPruning(0.5)
+        lopsided = DynamicInputPruning(0.5, allocation=DIPDensityAllocation(0.25, 1.0))
+        err_dip = np.linalg.norm(dip.sparse_forward(mlp, 0, x) - dense)
+        err_lopsided = np.linalg.norm(lopsided.sparse_forward(mlp, 0, x) - dense)
+        assert err_dip < err_lopsided
+
+    def test_oracle_glu_beats_dip_at_same_density(self, mlp, x):
+        """The oracle (perfect predictions, Table 1) upper-bounds DIP's fidelity."""
+        dense = mlp.forward_array(x)
+        oracle = GLUPruning(0.5, oracle=True)
+        dip = DynamicInputPruning(0.5)
+        err_oracle = np.linalg.norm(oracle.sparse_forward(mlp, 0, x) - dense)
+        err_dip = np.linalg.norm(dip.sparse_forward(mlp, 0, x) - dense)
+        assert err_oracle <= err_dip + 1e-9

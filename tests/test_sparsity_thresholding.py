@@ -1,0 +1,96 @@
+"""Tests for the thresholding strategies of Section 3.1 (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.thresholding import (
+    GlobalThreshold,
+    PerLayerThreshold,
+    PerTokenTopK,
+    build_threshold_strategy,
+    collect_glu_activations,
+    collect_mlp_inputs,
+)
+
+
+@pytest.fixture(scope="module")
+def fake_activations():
+    """Two 'layers' with very different magnitude scales (like real LLMs)."""
+    rng = np.random.default_rng(0)
+    layer0 = rng.normal(0, 0.1, size=(200, 32))
+    layer1 = rng.normal(0, 2.0, size=(200, 32))
+    return [layer0, layer1]
+
+
+class TestCollectors:
+    def test_collect_glu_shapes(self, trained_tiny_model, calibration_sequences):
+        acts = collect_glu_activations(trained_tiny_model, calibration_sequences[:2])
+        assert len(acts) == len(trained_tiny_model.blocks)
+        expected_tokens = 2 * calibration_sequences.shape[1]
+        assert all(a.shape == (expected_tokens, trained_tiny_model.config.d_ffn) for a in acts)
+
+    def test_collect_inputs_shapes(self, trained_tiny_model, calibration_sequences):
+        acts = collect_mlp_inputs(trained_tiny_model, calibration_sequences[:2], max_tokens_per_sequence=8)
+        assert all(a.shape == (16, trained_tiny_model.config.d_model) for a in acts)
+
+
+class TestGlobalThreshold:
+    def test_requires_calibration(self, fake_activations):
+        strategy = GlobalThreshold(0.5)
+        with pytest.raises(RuntimeError):
+            strategy.mask(fake_activations[0], 0)
+
+    def test_overall_density_close_to_target(self, fake_activations):
+        strategy = GlobalThreshold(0.5)
+        strategy.calibrate(fake_activations)
+        densities = strategy.layer_densities(fake_activations)
+        assert np.mean(densities) == pytest.approx(0.5, abs=0.05)
+
+    def test_unbalanced_across_layers(self, fake_activations):
+        """A single global threshold starves the small-magnitude layer (the Fig. 4 failure)."""
+        strategy = GlobalThreshold(0.5)
+        strategy.calibrate(fake_activations)
+        densities = strategy.layer_densities(fake_activations)
+        assert densities[0] < 0.1
+        assert densities[1] > 0.9
+
+
+class TestPerLayerThreshold:
+    def test_balanced_across_layers(self, fake_activations):
+        strategy = PerLayerThreshold(0.5)
+        strategy.calibrate(fake_activations)
+        densities = strategy.layer_densities(fake_activations)
+        assert np.allclose(densities, 0.5, atol=0.05)
+
+    def test_missing_layer_raises(self, fake_activations):
+        strategy = PerLayerThreshold(0.5)
+        strategy.calibrate(fake_activations)
+        with pytest.raises(RuntimeError):
+            strategy.mask(fake_activations[0], 7)
+
+
+class TestPerTokenTopK:
+    def test_exact_per_token_density(self, fake_activations):
+        strategy = PerTokenTopK(0.25)
+        mask = strategy.mask(fake_activations[0], 0)
+        assert np.all(mask.sum(axis=-1) == 8)
+
+    def test_no_calibration_needed(self, fake_activations):
+        strategy = PerTokenTopK(0.5)
+        densities = strategy.layer_densities(fake_activations)
+        assert np.allclose(densities, 0.5, atol=0.02)
+
+
+class TestFactory:
+    def test_build_by_name(self):
+        assert isinstance(build_threshold_strategy("global", 0.5), GlobalThreshold)
+        assert isinstance(build_threshold_strategy("per-layer", 0.5), PerLayerThreshold)
+        assert isinstance(build_threshold_strategy("per-token-topk", 0.5), PerTokenTopK)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            build_threshold_strategy("magic", 0.5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            PerTokenTopK(0.0)

@@ -1,0 +1,70 @@
+"""Tests for DejaVu-style predictor training."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.base import topk_fraction_mask
+from repro.training.predictor import (
+    PredictorTrainingConfig,
+    SparsityPredictor,
+    predictor_topk_recall,
+    train_predictors,
+)
+
+
+class TestSparsityPredictor:
+    def test_output_shape(self):
+        predictor = SparsityPredictor(d_model=16, d_ffn=32, hidden_units=8, seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 16))
+        assert predictor.forward_array(x).shape == (5, 32)
+
+    def test_single_token_input(self):
+        predictor = SparsityPredictor(8, 12, 4, seed=0)
+        assert predictor.forward_array(np.zeros(8)).shape == (1, 12)
+
+    def test_parameter_count(self):
+        predictor = SparsityPredictor(8, 12, 4)
+        assert predictor.parameter_count() == (8 * 4 + 4) + (4 * 12 + 12)
+
+
+class TestTrainPredictors:
+    def test_one_predictor_per_layer(self, trained_tiny_model, calibration_sequences):
+        config = PredictorTrainingConfig(hidden_units=16, epochs=2, seed=0)
+        predictors = train_predictors(trained_tiny_model, calibration_sequences, config)
+        assert len(predictors) == len(trained_tiny_model.blocks)
+
+    def test_predictor_beats_chance(self, trained_tiny_model, calibration_sequences):
+        """Trained predictors must recover the top-k set better than random guessing."""
+        from repro.sparsity.thresholding import collect_glu_activations, collect_mlp_inputs
+
+        config = PredictorTrainingConfig(hidden_units=24, epochs=6, seed=0, target_fraction=0.3)
+        predictors = train_predictors(trained_tiny_model, calibration_sequences, config)
+        inputs = collect_mlp_inputs(trained_tiny_model, calibration_sequences)
+        glus = collect_glu_activations(trained_tiny_model, calibration_sequences)
+        keep = 0.3
+        recalls = [
+            predictor_topk_recall(pred, x, glu, keep) for pred, x, glu in zip(predictors, inputs, glus)
+        ]
+        assert np.mean(recalls) > keep + 0.05  # random recall ~= keep fraction
+
+
+class TestRecallMetric:
+    def test_perfect_predictor(self):
+        rng = np.random.default_rng(0)
+        glu = rng.normal(size=(10, 20))
+
+        class Oracle:
+            def forward_array(self, x):
+                return np.abs(glu)
+
+        assert predictor_topk_recall(Oracle(), np.zeros((10, 4)), glu, 0.25) == pytest.approx(1.0)
+
+    def test_anti_predictor(self):
+        rng = np.random.default_rng(1)
+        glu = rng.normal(size=(10, 20))
+
+        class Worst:
+            def forward_array(self, x):
+                return -np.abs(glu)
+
+        assert predictor_topk_recall(Worst(), np.zeros((10, 4)), glu, 0.25) == pytest.approx(0.0)

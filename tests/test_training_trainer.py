@@ -1,0 +1,74 @@
+"""Tests for LM pre-training."""
+
+import numpy as np
+import pytest
+
+from repro.nn.transformer import CausalLM
+from repro.training.trainer import TrainingConfig, evaluate_loss, train_language_model
+
+
+class TestTrainingConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(steps=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+    def test_round_trip(self):
+        config = TrainingConfig(steps=5)
+        assert TrainingConfig.from_dict(config.to_dict()) == config
+
+
+class TestTrainLanguageModel:
+    def test_loss_decreases(self, tiny_config, tiny_splits):
+        model = CausalLM(tiny_config, seed=21)
+        result = train_language_model(
+            model,
+            tiny_splits.train,
+            TrainingConfig(steps=40, batch_size=8, learning_rate=3e-3, log_every=0),
+        )
+        assert len(result.losses) == 40
+        assert result.final_loss < result.losses[0] - 0.2
+
+    def test_validation_loss_reported(self, tiny_config, tiny_splits):
+        model = CausalLM(tiny_config, seed=22)
+        result = train_language_model(
+            model,
+            tiny_splits.train,
+            TrainingConfig(steps=5, batch_size=4, log_every=0),
+            validation_dataset=tiny_splits.validation,
+        )
+        assert result.validation_loss is not None
+        assert np.isfinite(result.validation_loss)
+        assert np.isfinite(list(result.summary().values())).all() if hasattr(np, "isfinite") else True
+
+    def test_model_left_in_eval_mode(self, tiny_config, tiny_splits):
+        model = CausalLM(tiny_config, seed=23)
+        train_language_model(model, tiny_splits.train, TrainingConfig(steps=2, batch_size=4, log_every=0))
+        assert not model.training
+
+    def test_deterministic_given_seed(self, tiny_config, tiny_splits):
+        results = []
+        for _ in range(2):
+            model = CausalLM(tiny_config, seed=24)
+            r = train_language_model(
+                model, tiny_splits.train, TrainingConfig(steps=6, batch_size=4, seed=3, log_every=0)
+            )
+            results.append(r.losses)
+        assert np.allclose(results[0], results[1])
+
+
+class TestEvaluateLoss:
+    def test_matches_manual(self, trained_tiny_model, tiny_splits):
+        loss = evaluate_loss(trained_tiny_model, tiny_splits.validation, batch_size=4, max_batches=2)
+        assert np.isfinite(loss)
+        assert loss < np.log(tiny_splits.vocab_size) + 0.5
+
+    def test_trained_beats_untrained(self, trained_tiny_model, tiny_model, tiny_splits):
+        trained = evaluate_loss(trained_tiny_model, tiny_splits.validation, max_batches=2)
+        untrained = evaluate_loss(tiny_model, tiny_splits.validation, max_batches=2)
+        assert trained < untrained - 0.3
+
+    def test_max_batches_zero_raises(self, trained_tiny_model, tiny_splits):
+        with pytest.raises(ValueError):
+            evaluate_loss(trained_tiny_model, tiny_splits.validation, max_batches=0)

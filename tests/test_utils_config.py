@@ -1,0 +1,70 @@
+"""Tests for repro.utils.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.utils.config import ConfigBase, asdict_shallow, config_hash
+
+
+@dataclasses.dataclass(frozen=True)
+class DummyConfig(ConfigBase):
+    alpha: int = 1
+    beta: float = 0.5
+    name: str = "x"
+
+
+@dataclasses.dataclass(frozen=True)
+class NestedConfig(ConfigBase):
+    inner: DummyConfig = DummyConfig()
+    values: tuple = (1, 2, 3)
+
+
+class TestToDict:
+    def test_plain_fields(self):
+        assert DummyConfig().to_dict() == {"alpha": 1, "beta": 0.5, "name": "x"}
+
+    def test_nested_dataclass(self):
+        data = NestedConfig().to_dict()
+        assert data["inner"] == {"alpha": 1, "beta": 0.5, "name": "x"}
+        assert data["values"] == [1, 2, 3]
+
+    def test_json_round_trip_stable(self):
+        assert DummyConfig().to_json() == DummyConfig().to_json()
+
+
+class TestHash:
+    def test_equal_configs_equal_hash(self):
+        assert DummyConfig().content_hash() == DummyConfig().content_hash()
+
+    def test_different_configs_different_hash(self):
+        assert DummyConfig(alpha=2).content_hash() != DummyConfig().content_hash()
+
+    def test_hash_length(self):
+        assert len(DummyConfig().content_hash(length=12)) == 12
+
+    def test_config_hash_combines(self):
+        h1 = config_hash(DummyConfig(), NestedConfig())
+        h2 = config_hash(DummyConfig(), NestedConfig())
+        h3 = config_hash(DummyConfig(alpha=9), NestedConfig())
+        assert h1 == h2
+        assert h1 != h3
+
+    def test_config_hash_extra(self):
+        assert config_hash(DummyConfig(), extra={"k": 1}) != config_hash(DummyConfig(), extra={"k": 2})
+
+
+class TestReplaceAndFromDict:
+    def test_replace_returns_new_instance(self):
+        base = DummyConfig()
+        other = base.replace(alpha=5)
+        assert other.alpha == 5
+        assert base.alpha == 1
+
+    def test_from_dict_ignores_unknown(self):
+        config = DummyConfig.from_dict({"alpha": 3, "unknown": True})
+        assert config.alpha == 3
+
+    def test_asdict_shallow(self):
+        data = asdict_shallow(NestedConfig())
+        assert isinstance(data["inner"], DummyConfig)

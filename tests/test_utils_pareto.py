@@ -1,0 +1,76 @@
+"""Tests for repro.utils.pareto."""
+
+import numpy as np
+import pytest
+
+from repro.utils.pareto import best_under_budget, interpolate_front, pareto_front, pareto_front_indices
+
+
+class TestParetoFrontIndices:
+    def test_simple_front(self):
+        cost = [1, 2, 3, 4]
+        objective = [10, 8, 9, 7]  # index 2 is dominated by index 1
+        idx = pareto_front_indices(cost, objective)
+        assert list(idx) == [0, 1, 3]
+
+    def test_all_on_front_when_monotone(self):
+        cost = [1, 2, 3]
+        objective = [3, 2, 1]
+        assert list(pareto_front_indices(cost, objective)) == [0, 1, 2]
+
+    def test_maximize_objective(self):
+        cost = [1, 2, 3]
+        objective = [1, 5, 4]
+        idx = pareto_front_indices(cost, objective, minimize_objective=False)
+        assert list(idx) == [0, 1]
+
+    def test_single_point(self):
+        assert list(pareto_front_indices([1.0], [2.0])) == [0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pareto_front_indices([1, 2], [1, 2, 3])
+
+    def test_duplicates_keep_first_best(self):
+        cost = [1, 1, 2]
+        objective = [5, 4, 3]
+        idx = pareto_front_indices(cost, objective)
+        assert 1 in idx and 0 not in idx
+
+
+class TestParetoFront:
+    def test_returns_sorted_costs(self):
+        cost = [3, 1, 2]
+        objective = [1, 3, 2]
+        front_cost, front_obj = pareto_front(cost, objective)
+        assert list(front_cost) == [1, 2, 3]
+        assert list(front_obj) == [3, 2, 1]
+
+
+class TestInterpolateFront:
+    def test_interpolation_between_points(self):
+        values = interpolate_front([1, 3], [20, 10], [2])
+        assert values[0] == pytest.approx(15.0)
+
+    def test_clamped_outside_range(self):
+        values = interpolate_front([1, 3], [20, 10], [0, 5])
+        assert values[0] == pytest.approx(20.0)
+        assert values[1] == pytest.approx(10.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interpolate_front([], [], [1.0])
+
+
+class TestBestUnderBudget:
+    def test_picks_best_feasible(self):
+        idx = best_under_budget([1, 2, 3], [5, 1, 0], budget=2)
+        assert idx == 1
+
+    def test_maximize(self):
+        idx = best_under_budget([1, 2, 3], [5, 9, 20], budget=2, minimize_objective=False)
+        assert idx == 1
+
+    def test_no_feasible_raises(self):
+        with pytest.raises(ValueError):
+            best_under_budget([5, 6], [1, 2], budget=1)

@@ -1,0 +1,70 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, new_rng, seed_from_string, spawn_rng
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a = new_rng(42)
+        b = new_rng(42)
+        assert np.array_equal(a.random(5), b.random(5))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(new_rng(1).random(5), new_rng(2).random(5))
+
+    def test_none_uses_fixed_default(self):
+        assert np.array_equal(new_rng(None).random(3), new_rng(None).random(3))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert new_rng(gen) is gen
+
+
+class TestSpawnRng:
+    def test_deterministic_given_parent_state(self):
+        child_a = spawn_rng(new_rng(0), "alpha")
+        child_b = spawn_rng(new_rng(0), "alpha")
+        assert np.array_equal(child_a.random(4), child_b.random(4))
+
+    def test_different_tags_give_different_streams(self):
+        parent = new_rng(0)
+        a = spawn_rng(parent, "a")
+        b = spawn_rng(parent, "b")
+        assert not np.array_equal(a.random(4), b.random(4))
+
+    def test_spawning_advances_parent(self):
+        parent = new_rng(0)
+        first = spawn_rng(parent, "x")
+        second = spawn_rng(parent, "x")
+        assert not np.array_equal(first.random(4), second.random(4))
+
+
+class TestSeedFromString:
+    def test_stable(self):
+        assert seed_from_string("hello") == seed_from_string("hello")
+
+    def test_distinct(self):
+        assert seed_from_string("hello") != seed_from_string("world")
+
+    def test_in_range(self):
+        value = seed_from_string("anything")
+        assert 0 <= value < 2**63 - 1
+
+
+class TestRngMixin:
+    def test_lazy_rng_uses_seed(self):
+        class Thing(RngMixin):
+            seed = 9
+
+        a, b = Thing(), Thing()
+        assert np.array_equal(a.rng.random(3), b.rng.random(3))
+
+    def test_rng_cached(self):
+        class Thing(RngMixin):
+            seed = 1
+
+        thing = Thing()
+        assert thing.rng is thing.rng

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.units and repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.units import GB, KB, MB, bytes_to_gb, bytes_to_mb, format_bytes
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_bytes_to_gb(self):
+        assert bytes_to_gb(2 * GB) == 2.0
+
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(512 * KB) == 0.5
+
+    def test_format_bytes_gb(self):
+        assert format_bytes(7.5 * GB) == "7.50 GB"
+
+    def test_format_bytes_mb(self):
+        assert format_bytes(3 * MB) == "3.00 MB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(100) == "100 B"
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        logger = get_logger("hwsim")
+        assert logger.name == "repro.hwsim"
+
+    def test_logger_idempotent_handlers(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+
+    def test_set_verbosity(self):
+        set_verbosity("INFO")
+        assert logging.getLogger("repro").level == logging.INFO
+        set_verbosity("WARNING")
