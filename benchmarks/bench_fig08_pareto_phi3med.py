@@ -2,10 +2,13 @@
 
 Sweeps the MLP density for the dynamic-sparsity methods plus the static
 SparseGPT baseline and prints both metrics per density (the two panels of the
-paper's Figure 8).  Reproduction target: DIP dominates the other predictor-
-free methods and approaches the dense model as density grows, SparseGPT sits
-below the dynamic methods, and every curve degrades monotonically (up to
-noise) as density shrinks.
+paper's Figure 8).  The dynamic sweep runs through the pipeline API: an
+:class:`~repro.pipeline.spec.ExperimentSpec` fixes the protocol and
+:func:`~repro.pipeline.runner.density_sweep` iterates a shared
+:class:`~repro.pipeline.session.SparseSession`.  Reproduction target: DIP
+dominates the other predictor-free methods and approaches the dense model as
+density grows, SparseGPT sits below the dynamic methods, and every curve
+degrades monotonically (up to noise) as density shrinks.
 """
 
 import copy
@@ -14,40 +17,55 @@ import numpy as np
 
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
-from repro.eval.accuracy import task_accuracy
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_series
-from repro.sparsity.registry import build_method
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession, density_sweep
 
 DENSITIES = [0.3, 0.4, 0.5, 0.7, 0.9] if not FAST else [0.4, 0.7]
 METHODS = ["dejavu", "cats", "dip"]
+METHOD_KWARGS = {"dejavu": {"predictor_hidden": 32, "predictor_epochs": 3}}
+
+
+def _spec(bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig08-pareto-phi3med",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name="dip"),
+        densities=tuple(DENSITIES),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+        ),
+        hardware=None,
+    )
 
 
 def run_fig08(prepared, bench_settings):
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    spec = _spec(bench_settings)
+    session = SparseSession.from_spec(spec, prepared=prepared)
     ppl_series, acc_series = {}, {}
     for name in METHODS:
-        ppls, accs = [], []
-        for density in DENSITIES:
-            kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
-            method = build_method(name, target_density=density, **kwargs)
-            if method.requires_calibration:
-                method.calibrate(prepared.model, calib)
-            ppls.append(perplexity(prepared.model, eval_seqs, method))
-            accs.append(task_accuracy(prepared.model, prepared.primary_task, method,
-                                      max_examples=bench_settings.max_task_examples))
-        ppl_series[name] = ppls
-        acc_series[name] = accs
+        results = density_sweep(session, name, DENSITIES, method_kwargs=METHOD_KWARGS.get(name))
+        ppl_series[name] = [r.perplexity for r in results]
+        acc_series[name] = [r.accuracy for r in results]
 
-    # Static SparseGPT baseline: one pruned model per density.
+    # Static SparseGPT baseline: one pruned model per density, evaluated by a
+    # dense session over the same assets.
+    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
     ppls, accs = [], []
     for density in DENSITIES:
         pruned = copy.deepcopy(prepared.model)
         sparsegpt_prune_model(pruned, calib, SparseGPTConfig(sparsity=1 - density, block_size=16))
-        ppls.append(perplexity(pruned, eval_seqs, None))
-        accs.append(task_accuracy(pruned, prepared.primary_task, None,
-                                  max_examples=bench_settings.max_task_examples))
+        pruned_session = SparseSession(
+            pruned,
+            None,
+            settings=spec.eval.settings(),
+            model_name=prepared.name,
+            eval_sequences=prepared.eval_sequences,
+            primary_task=prepared.primary_task,
+        )
+        ppls.append(pruned_session.perplexity())
+        accs.append(pruned_session.accuracy())
     ppl_series["sparsegpt"] = ppls
     acc_series["sparsegpt"] = accs
     return ppl_series, acc_series

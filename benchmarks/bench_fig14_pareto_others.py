@@ -10,7 +10,7 @@ import numpy as np
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_series
-from repro.sparsity.registry import build_method
+from repro.sparsity.registry import create_method
 
 DENSITIES = [0.35, 0.5, 0.7, 0.9] if not FAST else [0.4, 0.7]
 METHODS = ["dejavu", "cats", "dip"]
@@ -28,7 +28,7 @@ def run_fig14(prepared_models, bench_settings):
             ppls = []
             for density in DENSITIES:
                 kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
-                method = build_method(name, target_density=density, **kwargs)
+                method = create_method(name, target_density=density, **kwargs)
                 if method.requires_calibration:
                     method.calibrate(prepared.model, calib)
                 ppls.append(perplexity(prepared.model, eval_seqs, method))

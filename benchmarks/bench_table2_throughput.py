@@ -1,10 +1,12 @@
 """Table 2 — throughput at a bounded perplexity increase (+0.2 / +0.5 ppl).
 
 For every model the available DRAM holds roughly half of the INT4 model
-(Table 2's "DRAM size" row).  Each method's density grid is evaluated for
-perplexity on the simulation model and for throughput on the paper-scale
-geometry through the HW simulator; the reported number is the highest
-throughput whose perplexity stays within the budget.
+(Table 2's "DRAM size" row).  The whole protocol runs through the pipeline
+API: a per-model :class:`~repro.pipeline.spec.ExperimentSpec` (hardware
+section included) yields a :class:`~repro.pipeline.session.SparseSession`;
+each method's density grid is evaluated for perplexity on the simulation
+model and for throughput on the paper-scale geometry, and the reported number
+is the highest throughput whose perplexity stays within the budget.
 
 Paper reference (Phi-3-Medium, +0.5 ppl): dense 0.29 tok/s, GLU 0.45,
 Up 0.52, CATS 0.47, DIP 0.50, DIP-CA 0.56.  The reproduction target is the
@@ -14,45 +16,53 @@ ordering (every dynamic method beats dense; DIP-CA is the fastest).
 from typing import Dict
 
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.engine.throughput import throughput_for_method
 from repro.eval.operating_point import find_operating_point
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
-from repro.hwsim.device import APPLE_A18
-from repro.hwsim.trace import SyntheticTraceConfig
-from repro.sparsity.registry import build_method
+from repro.pipeline import EvalSection, ExperimentSpec, HardwareSection, MethodSection, ModelSection, SparseSession
+from repro.sparsity.registry import create_method
+from repro.utils.units import GB
 
 METHODS = ["glu", "up", "cats", "dip", "dip-ca"]
+METHOD_KWARGS = {"dip-ca": {"gamma": 0.2}}
 DENSITIES = [0.35, 0.5, 0.7] if not FAST else [0.4, 0.7]
 PPL_BUDGETS = (0.2, 0.5)
 
 
-def _method(name: str, density: float):
-    if name == "dip-ca":
-        return build_method(name, target_density=density, gamma=0.2)
-    return build_method(name, target_density=density)
+def _spec(model_name: str, prepared, bench_settings, sim_tokens: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"table2-{model_name}",
+        model=ModelSection(name=model_name),
+        method=MethodSection(name="dip"),
+        densities=tuple(DENSITIES),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=HardwareSection(
+            device="apple-a18",
+            dram_gb=prepared.spec.table2_dram_bytes / GB,
+            simulated_tokens=sim_tokens,
+        ),
+    )
 
 
 def run_table2(prepared_models, bench_settings, sim_tokens):
     rows = []
     for model_name, prepared in prepared_models.items():
-        device = APPLE_A18.with_dram(prepared.spec.table2_dram_bytes)
-        trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
-        eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-        dense_tput = throughput_for_method(None, prepared.spec, device, n_tokens=sim_tokens,
-                                           trace_config=trace).tokens_per_second
+        spec = _spec(model_name, prepared, bench_settings, sim_tokens)
+        session = SparseSession.from_spec(spec, prepared=prepared)
+        dense_tput = session.with_method(None).throughput().tokens_per_second
         row: Dict[str, object] = {"model": model_name, "dense:tok/s": dense_tput}
         for name in METHODS:
             ppls, tputs = [], []
             for density in DENSITIES:
-                method = _method(name, density)
-                if method.requires_calibration:
-                    method.calibrate(prepared.model, prepared.calibration_sequences[: bench_settings.calibration_sequences])
-                ppls.append(perplexity(prepared.model, eval_seqs, method))
-                tputs.append(
-                    throughput_for_method(_method(name, density), prepared.spec, device,
-                                          n_tokens=sim_tokens, trace_config=trace).tokens_per_second
+                bound = session.with_method(
+                    create_method(name, target_density=density, **METHOD_KWARGS.get(name, {}))
                 )
+                ppls.append(bound.perplexity())
+                tputs.append(bound.throughput().tokens_per_second)
             for budget in PPL_BUDGETS:
                 op = find_operating_point(DENSITIES, ppls, tputs, prepared.dense_ppl, budget, name)
                 row[f"{name}@+{budget}"] = op.tokens_per_second if op.feasible else None

@@ -13,7 +13,7 @@ from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
 from repro.hwsim.device import APPLE_A18
 from repro.hwsim.trace import SyntheticTraceConfig
-from repro.sparsity.registry import build_method
+from repro.sparsity.registry import create_method
 from repro.utils.units import GB
 
 METHODS = ["glu", "up", "cats", "dip-ca"]
@@ -23,7 +23,7 @@ PPL_BUDGET = 0.5
 
 
 def _method(name, density):
-    return build_method(name, target_density=density, **({"gamma": 0.2} if name == "dip-ca" else {}))
+    return create_method(name, target_density=density, **({"gamma": 0.2} if name == "dip-ca" else {}))
 
 
 def run_table7(prepared, bench_settings, sim_tokens):

@@ -19,7 +19,7 @@ from repro.eval.accuracy import suite_accuracy, task_accuracy
 from repro.eval.harness import EvaluationSettings
 from repro.eval.perplexity import dense_perplexity, perplexity
 from repro.experiments.models import PreparedModel
-from repro.sparsity.registry import build_method
+from repro.sparsity.registry import create_method
 from repro.training.distill import DistillationConfig, finetune_lora_distillation
 from repro.training.lora import LoRAConfig, attach_mlp_adapters, fuse_adapters
 
@@ -38,7 +38,7 @@ def _lora_variant(
 ) -> "CausalLM":
     """Return a copy of the model with LoRA adapters distilled and fused."""
     matrices = ("up", "down") if method_name == "cats" else ("up", "gate", "down")
-    method = build_method(method_name, target_density=density, **({} if method_name != "dejavu" else DEJAVU_KWARGS))
+    method = create_method(method_name, target_density=density, **({} if method_name != "dejavu" else DEJAVU_KWARGS))
     if method.requires_calibration:
         method.calibrate(prepared.model, prepared.calibration_sequences[: settings.calibration_sequences])
     adapters = attach_mlp_adapters(prepared.model, LoRAConfig(rank=4, matrices=matrices, seed=0))
@@ -120,7 +120,7 @@ def accuracy_table(
 
         for name in DYNAMIC_METHODS:
             kwargs = DEJAVU_KWARGS if name == "dejavu" else {}
-            method = build_method(name, target_density=density, **kwargs)
+            method = create_method(name, target_density=density, **kwargs)
             if method.requires_calibration:
                 method.calibrate(prepared.model, calib)
             ppl, acc = evaluate(prepared.model, method)
@@ -129,7 +129,7 @@ def accuracy_table(
         if include_lora:
             for name in ("cats", "dip"):
                 adapted = _lora_variant(prepared, name, density, settings, lora_iterations)
-                method = build_method(name, target_density=density)
+                method = create_method(name, target_density=density)
                 if method.requires_calibration:
                     method.calibrate(adapted, calib)
                 ppl, acc = evaluate(adapted, method)

@@ -1,42 +1,51 @@
 """Cache-policy study: LRU vs LFU vs Belady's oracle vs cache-aware masking.
 
-Reproduces the structure of the paper's Figure 11 at paper-scale geometry:
-for a fixed DRAM budget, compare the throughput of DIP under different DRAM
-cache eviction policies against DIP-CA (cache-aware masking with a plain LFU
-cache), across a range of MLP densities.
+Reproduces the structure of the paper's Figure 11 at paper-scale geometry
+through the pipeline API.  Because the study is throughput-only, the session
+is built with ``prepare=False`` — no simulation model is trained; the spec's
+hardware section alone drives the HW simulator.
 
 Run:  python examples/cache_policies.py
 """
 
 from __future__ import annotations
 
-from repro.engine import throughput_for_method
 from repro.eval.reporting import format_series
-from repro.hwsim import APPLE_A18, SyntheticTraceConfig
-from repro.nn import get_model_spec
-from repro.sparsity import CacheAwareDIP, DynamicInputPruning
+from repro.pipeline import (
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+)
+from repro.sparsity import create_method
 
 DENSITIES = (0.3, 0.45, 0.6, 0.75)
 
 
 def main() -> None:
-    spec = get_model_spec("phi3-medium")
-    device = APPLE_A18.with_dram(spec.table2_dram_bytes)
-    trace = SyntheticTraceConfig(n_tokens=24, seed=0)
+    spec = ExperimentSpec(
+        name="cache-policies",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name="dip"),
+        # 4 GB DRAM: the paper's Table 2 budget for Phi-3-Medium.
+        hardware=HardwareSection(device="apple-a18", dram_gb=4.0, simulated_tokens=24),
+    )
+    session = SparseSession.from_spec(spec, prepare=False)
 
     series = {}
     for policy in ("none", "lru", "lfu", "belady"):
         series[f"dip/{policy}"] = [
-            throughput_for_method(
-                DynamicInputPruning(d), spec, device, n_tokens=24, cache_policy=policy, trace_config=trace
-            ).tokens_per_second
+            session.with_method(create_method("dip", target_density=d))
+            .throughput(cache_policy=policy)
+            .tokens_per_second
             for d in DENSITIES
         ]
         print(f"simulated policy {policy}")
     series["dip-ca/lfu"] = [
-        throughput_for_method(
-            CacheAwareDIP(d, gamma=0.2), spec, device, n_tokens=24, cache_policy="lfu", trace_config=trace
-        ).tokens_per_second
+        session.with_method(create_method("dip-ca", target_density=d, gamma=0.2))
+        .throughput(cache_policy="lfu")
+        .tokens_per_second
         for d in DENSITIES
     ]
 

@@ -1,13 +1,15 @@
 """Mobile deployment study: pick an operating point for a DRAM-constrained phone.
 
 The scenario from the paper's introduction: a Phi-3-Medium-class model (7 GB
-at INT4) must run on a phone with only a few GB of DRAM free.  This example
+at INT4) must run on a phone with only a few GB of DRAM free.  Through the
+pipeline API this example
 
-1. loads (or trains) the cached simulation model for Phi-3-Medium,
+1. builds one :class:`~repro.pipeline.spec.ExperimentSpec` and a shared
+   :class:`~repro.pipeline.session.SparseSession`,
 2. sweeps DIP / DIP-CA densities, measuring perplexity on the synthetic
    WikiText stand-in,
-3. simulates throughput at paper-scale geometry for several DRAM budgets and
-   cache policies, and
+3. simulates throughput at paper-scale geometry for several DRAM budgets via
+   per-call session overrides, and
 4. reports the best operating point under a +0.5 perplexity budget
    (the paper's Table 2 / Table 6 protocol).
 
@@ -16,47 +18,63 @@ Run:  python examples/mobile_deployment.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.engine import throughput_for_method
-from repro.eval import find_operating_point, perplexity
+from repro.eval import find_operating_point
 from repro.eval.reporting import format_table
-from repro.experiments import prepare_model
-from repro.experiments.models import FAST_PREPARATION
 from repro.hwsim import APPLE_A18
-from repro.sparsity import CacheAwareDIP, DynamicInputPruning
+from repro.pipeline import (
+    DataSection,
+    EvalSection,
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+)
+from repro.sparsity import create_method
 from repro.utils.units import GB
 
 DENSITIES = (0.35, 0.5, 0.65, 0.8)
 PPL_BUDGET = 0.5
+METHODS = {
+    "dip": {},
+    "dip-ca": {"gamma": 0.2},
+}
 
 
 def main() -> None:
+    spec = ExperimentSpec(
+        name="mobile-deployment",
+        model=ModelSection(name="phi3-medium", train_steps=120),
+        data=DataSection(corpus_tokens=40_000, task_examples=16),
+        method=MethodSection(name="dip"),
+        densities=DENSITIES,
+        eval=EvalSection(max_eval_sequences=10, calibration_sequences=4, primary_task=None),
+        hardware=HardwareSection(device="apple-a18", simulated_tokens=20),
+    )
     print("Preparing the Phi-3-Medium simulation model (cached after the first run)...")
-    prepared = prepare_model("phi3-medium", preparation=FAST_PREPARATION)
-    eval_sequences = prepared.eval_sequences[:10]
-    dense_ppl = prepared.dense_ppl
+    session = SparseSession.from_spec(spec)
+    dense_ppl = session.dense_ppl
     print(f"dense perplexity: {dense_ppl:.3f}")
-
-    methods = {
-        "dip": lambda d: DynamicInputPruning(d),
-        "dip-ca": lambda d: CacheAwareDIP(d, gamma=0.2),
-    }
 
     # Perplexity depends only on the method + density (not on the device).
     ppl_by_method = {
-        name: [perplexity(prepared.model, eval_sequences, factory(d)) for d in DENSITIES]
-        for name, factory in methods.items()
+        name: [
+            session.with_method(create_method(name, target_density=d, **kwargs)).perplexity()
+            for d in DENSITIES
+        ]
+        for name, kwargs in METHODS.items()
     }
 
     for dram_gb in (2.0, 4.0, 6.0):
         device = APPLE_A18.with_dram(dram_gb * GB)
         rows = []
-        dense_tput = throughput_for_method(None, prepared.spec, device, n_tokens=20).tokens_per_second
+        dense_tput = session.with_method(None).throughput(device=device).tokens_per_second
         rows.append({"method": "dense", "density": 1.0, "perplexity": dense_ppl, "tokens/s": dense_tput})
-        for name, factory in methods.items():
+        for name, kwargs in METHODS.items():
             throughputs = [
-                throughput_for_method(factory(d), prepared.spec, device, n_tokens=20).tokens_per_second
+                session.with_method(create_method(name, target_density=d, **kwargs))
+                .throughput(device=device)
+                .tokens_per_second
                 for d in DENSITIES
             ]
             op = find_operating_point(

@@ -1,84 +1,74 @@
-"""Quickstart: train a tiny SwiGLU LM, sparsify its MLPs with DIP, and compare.
+"""Quickstart: the paper's core loop through the declarative pipeline API.
 
-This walks the core loop of the paper on a laptop-scale model:
+One :class:`~repro.pipeline.spec.ExperimentSpec` describes the whole
+experiment — model, data, method, density grid, evaluation sizes, and the
+simulated device — and :func:`~repro.pipeline.runner.run_experiment` executes
+it:
 
-1. build a synthetic corpus and train a small SwiGLU causal LM,
-2. evaluate dense perplexity,
-3. apply Dynamic Input Pruning (DIP) at a few MLP densities and show the
-   accuracy cost,
-4. estimate the mobile-device throughput gain with the HW simulator at the
-   paper-scale Phi-3-Medium geometry.
+1. train (or load from the artifact cache) a small SwiGLU causal LM,
+2. evaluate dense perplexity and Dynamic Input Pruning (DIP) at a few MLP
+   densities,
+3. estimate on-device throughput with the HW simulator at the paper-scale
+   Phi-3-Mini geometry,
+4. repeat for cache-aware DIP (DIP-CA) by swapping one spec section.
 
 Run:  python examples/quickstart.py
+Set REPRO_QUICKSTART_FAST=1 for a reduced-step smoke run (used by CI).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
-from repro.data import make_splits
-from repro.engine import throughput_for_method
-from repro.eval import dense_perplexity, perplexity
-from repro.eval.reporting import format_table
-from repro.hwsim import APPLE_A18
-from repro.nn import CausalLM, TransformerConfig, get_model_spec
-from repro.sparsity import CacheAwareDIP, DynamicInputPruning
-from repro.training import TrainingConfig, train_language_model
+from repro.pipeline import (
+    DataSection,
+    EvalSection,
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+    run_experiment,
+)
+
+FAST = os.environ.get("REPRO_QUICKSTART_FAST", "0") == "1"
 
 
 def main() -> None:
-    # ------------------------------------------------------------------ data
-    print("Generating a synthetic corpus and building train/val/test splits...")
-    splits = make_splits(n_tokens=60_000, seq_len=48, seed=0)
-
-    # ----------------------------------------------------------------- model
-    config = TransformerConfig(
-        vocab_size=splits.vocab_size,
-        d_model=64,
-        n_layers=4,
-        n_heads=4,
-        n_kv_heads=2,
-        d_ffn=256,
-        max_seq_len=96,
+    spec = ExperimentSpec(
+        name="quickstart",
+        model=ModelSection(name="phi3-mini", train_steps=60 if FAST else 250),
+        data=DataSection(corpus_tokens=20_000 if FAST else 60_000, seq_len=48, task_examples=8),
+        method=MethodSection(name="dip"),
+        densities=(0.5, 0.75) if FAST else (0.35, 0.5, 0.75),
+        eval=EvalSection(
+            max_eval_sequences=4 if FAST else 12,
+            max_task_examples=4 if FAST else 8,
+            calibration_sequences=4,
+            primary_task=None,
+        ),
+        # 1.5 GB DRAM: the paper's Table 2 budget for Phi-3-Mini (the INT4 model
+        # does not fit, so the dense baseline must stream weights from Flash).
+        hardware=HardwareSection(device="apple-a18", dram_gb=1.5, simulated_tokens=12 if FAST else 24),
     )
-    model = CausalLM(config, seed=0)
-    print(f"Training a {model.num_parameters():,}-parameter SwiGLU LM (a few minutes on CPU)...")
-    result = train_language_model(
-        model, splits.train, TrainingConfig(steps=250, batch_size=16, learning_rate=3e-3, log_every=50)
+
+    print("Preparing the Phi-3-Mini simulation model (cached after the first run)...")
+    session = SparseSession.from_spec(spec)
+    print(f"dense perplexity: {session.dense_ppl:.3f}")
+
+    print("\nSweeping DIP densities and simulating device throughput...")
+    dip = run_experiment(spec, session=session, include_dense=True)
+    print(dip.table(title="\nDIP accuracy and simulated throughput (Apple A18-class device)"))
+
+    print("\nSwapping one spec section to cache-aware DIP (gamma=0.2)...")
+    ca_spec = spec.replace(method=MethodSection(name="dip-ca", kwargs={"gamma": 0.2}))
+    dip_ca = run_experiment(ca_spec, session=session)
+    print(dip_ca.table(title="\nDIP-CA accuracy and simulated throughput"))
+
+    print(
+        "\nDone. The same spec serialises to JSON (spec.to_dict()) for reproducible"
+        " sweeps; see examples/mobile_deployment.py and examples/sparsity_pareto.py."
     )
-    print(f"final training loss: {result.final_loss:.3f}")
-
-    # ------------------------------------------------------------- accuracy
-    eval_sequences = splits.test.sequences[:12]
-    dense_ppl = dense_perplexity(model, eval_sequences)
-    print(f"\nDense perplexity: {dense_ppl:.3f}")
-
-    rows = []
-    for density in (0.75, 0.5, 0.35):
-        method = DynamicInputPruning(target_density=density)
-        ppl = perplexity(model, eval_sequences, method)
-        rows.append({"MLP density": density, "perplexity": ppl, "delta vs dense": ppl - dense_ppl})
-    print(format_table(rows, precision=3, title="\nDIP accuracy vs MLP density"))
-
-    # ------------------------------------------------------------ throughput
-    print("\nEstimating on-device throughput at paper scale (Phi-3-Medium, 4 GB DRAM)...")
-    spec = get_model_spec("phi3-medium")
-    rows = []
-    for label, method in (
-        ("dense (streamed from Flash)", None),
-        ("DIP @ 50% density", DynamicInputPruning(0.5)),
-        ("DIP-CA @ 50% density, gamma=0.2", CacheAwareDIP(0.5, gamma=0.2)),
-    ):
-        estimate = throughput_for_method(method, spec, APPLE_A18, n_tokens=24)
-        rows.append(
-            {
-                "configuration": label,
-                "tokens/s": estimate.tokens_per_second,
-                "cache hit rate": estimate.cache_hit_rate,
-            }
-        )
-    print(format_table(rows, precision=3, title="Simulated throughput (Apple A18-class device)"))
-    print("\nDone. See examples/mobile_deployment.py and examples/sparsity_pareto.py for more.")
 
 
 if __name__ == "__main__":

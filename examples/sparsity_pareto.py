@@ -1,56 +1,56 @@
 """Compare sparsification strategies on the accuracy / MLP-density Pareto front.
 
 Reproduces the structure of the paper's Figure 8 on the simulation-scale
-Phi-3-Medium model: for each dynamic-sparsity method, sweep the target MLP
-density and report perplexity and downstream (synthetic MMLU) accuracy; then
-print which method is Pareto-optimal at each density.
+Phi-3-Medium model through the pipeline API: one
+:class:`~repro.pipeline.spec.ExperimentSpec` fixes the model, data and
+evaluation protocol; :func:`~repro.pipeline.runner.density_sweep` then sweeps
+each method over the density grid on a shared
+:class:`~repro.pipeline.session.SparseSession`.
 
 Run:  python examples/sparsity_pareto.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.eval import EvaluationSettings, evaluate_method
 from repro.eval.reporting import format_series
-from repro.experiments import prepare_model
-from repro.experiments.models import FAST_PREPARATION
-from repro.sparsity import build_method
+from repro.pipeline import (
+    DataSection,
+    EvalSection,
+    ExperimentSpec,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+    density_sweep,
+)
 from repro.utils.pareto import pareto_front_indices
 
 DENSITIES = (0.3, 0.4, 0.5, 0.7, 0.9)
 METHODS = ("glu-oracle", "dejavu", "cats", "up", "dip")
+METHOD_KWARGS = {"dejavu": {"predictor_hidden": 32, "predictor_epochs": 3}}
 
 
 def main() -> None:
-    prepared = prepare_model("phi3-medium", preparation=FAST_PREPARATION)
-    settings = EvaluationSettings(max_eval_sequences=8, max_task_examples=16, calibration_sequences=4)
+    spec = ExperimentSpec(
+        name="sparsity-pareto",
+        model=ModelSection(name="phi3-medium", train_steps=120),
+        data=DataSection(corpus_tokens=40_000, task_examples=16),
+        method=MethodSection(name="dip"),
+        densities=DENSITIES,
+        eval=EvalSection(max_eval_sequences=8, max_task_examples=16, calibration_sequences=4),
+        hardware=None,
+    )
+    session = SparseSession.from_spec(spec)
 
     ppl_series = {}
     acc_series = {}
     for name in METHODS:
-        ppls, accs = [], []
-        for density in DENSITIES:
-            kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
-            method = build_method(name, target_density=density, **kwargs)
-            result = evaluate_method(
-                prepared.model,
-                method,
-                prepared.eval_sequences,
-                calibration_sequences=prepared.calibration_sequences,
-                primary_task=prepared.primary_task,
-                settings=settings,
-                model_name=prepared.name,
-            )
-            ppls.append(result.perplexity)
-            accs.append(result.accuracy)
-        ppl_series[name] = ppls
-        acc_series[name] = accs
+        results = density_sweep(session, name, DENSITIES, method_kwargs=METHOD_KWARGS.get(name))
+        ppl_series[name] = [r.perplexity for r in results]
+        acc_series[name] = [r.accuracy for r in results]
         print(f"finished {name}")
 
     print(format_series(DENSITIES, ppl_series, x_label="mlp_density", precision=3,
-                        title=f"\nPerplexity vs MLP density (dense = {prepared.dense_ppl:.3f})"))
+                        title=f"\nPerplexity vs MLP density (dense = {session.dense_ppl:.3f})"))
     print(format_series(DENSITIES, acc_series, x_label="mlp_density", precision=1,
                         title="\nSynthetic-MMLU accuracy [%] vs MLP density"))
 

@@ -12,11 +12,13 @@ The package is organised by subsystem:
 * :mod:`repro.engine` — sparse inference + throughput estimation
 * :mod:`repro.eval` — perplexity / accuracy / operating-point harness
 * :mod:`repro.experiments` — cached trained models and experiment assets
+* :mod:`repro.pipeline` — declarative experiment specs, sessions and runners
+  (the recommended front door: ``ExperimentSpec`` → ``SparseSession`` → runner)
 """
 
 __version__ = "0.1.0"
 
-from repro import autograd, compression, data, engine, eval, hwsim, nn, sparsity, training, utils
+from repro import autograd, compression, data, engine, eval, hwsim, nn, pipeline, sparsity, training, utils
 
 __all__ = [
     "autograd",
@@ -26,6 +28,7 @@ __all__ = [
     "eval",
     "hwsim",
     "nn",
+    "pipeline",
     "sparsity",
     "training",
     "utils",

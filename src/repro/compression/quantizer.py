@@ -48,6 +48,9 @@ def quantize_tensor_uniform(
     if symmetric:
         max_abs = np.abs(values).max()
         scale = max_abs / (n_levels / 2 - 1) if max_abs > 0 else 1.0
+        # A subnormal max_abs can underflow the division to exactly 0.0.
+        if scale <= 0.0 or not np.isfinite(scale):
+            scale = 1.0
         zero_point = 0.0
         codes = np.clip(np.round(values / scale), -(n_levels // 2), n_levels // 2 - 1)
     else:
@@ -55,6 +58,9 @@ def quantize_tensor_uniform(
         if hi <= lo:
             hi = lo + 1e-8
         scale = (hi - lo) / (n_levels - 1)
+        # hi > lo does not guarantee scale > 0: a subnormal range underflows.
+        if scale <= 0.0 or not np.isfinite(scale):
+            scale = 1.0
         zero_point = lo
         codes = np.clip(np.round((values - zero_point) / scale), 0, n_levels - 1)
     return codes, float(scale), float(zero_point)

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from repro.nn.transformer import CausalLM, TransformerBlock
 from repro.sparsity.base import MLPMasks, SparsityMethod, masks_mlp_density
-from repro.sparsity.cache_aware import CacheAwareDIP
+from repro.utils.numerics import log_softmax
 
 
 class MaskRecorder:
@@ -76,9 +75,8 @@ class SparseInferenceEngine:
 
     # ------------------------------------------------------------------- API
     def reset(self) -> None:
-        """Reset any stateful components (the DIP-CA cache model)."""
-        if isinstance(self.method, CacheAwareDIP):
-            self.method.reset_cache()
+        """Reset any stateful components (e.g. the DIP-CA cache model)."""
+        self.method.reset()
         if self.recorder is not None:
             self.recorder = MaskRecorder(len(self.model.blocks))
 
@@ -90,7 +88,7 @@ class SparseInferenceEngine:
         """Sum of next-token log-probabilities from ``continuation_start`` onward."""
         token_ids = np.asarray(token_ids, dtype=np.int64)
         logits = self.logits(token_ids[:-1])
-        log_probs = logits - _logsumexp(logits, axis=-1, keepdims=True)
+        log_probs = log_softmax(logits)
         targets = token_ids[1:]
         picked = log_probs[np.arange(targets.size), targets]
         return float(picked[continuation_start - 1 :].sum())
@@ -104,7 +102,7 @@ class SparseInferenceEngine:
         total_tokens = 0
         for sequence in sequences:
             logits = self.logits(sequence[:-1])
-            log_probs = logits - _logsumexp(logits, axis=-1, keepdims=True)
+            log_probs = log_softmax(logits)
             targets = sequence[1:]
             total_nll -= float(log_probs[np.arange(targets.size), targets].sum())
             total_tokens += targets.size
@@ -118,9 +116,3 @@ class SparseInferenceEngine:
         for sequence in sequences:
             self.logits(sequence)
         return self.recorder.all_layer_masks()
-
-
-def _logsumexp(x: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
-    m = x.max(axis=axis, keepdims=True)
-    out = m + np.log(np.exp(x - m).sum(axis=axis, keepdims=True))
-    return out if keepdims else np.squeeze(out, axis=axis)

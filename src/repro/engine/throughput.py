@@ -21,7 +21,6 @@ from repro.hwsim.simulator import HWSimulator, SimulationConfig, SimulationResul
 from repro.hwsim.trace import SyntheticTraceConfig, synthesize_trace
 from repro.nn.model_zoo import ModelSpec
 from repro.sparsity.base import SparsityMethod
-from repro.sparsity.cache_aware import CacheAwareDIP
 from repro.utils.config import ConfigBase
 
 
@@ -113,7 +112,7 @@ def throughput_for_method(
         bits_per_weight=bits_per_weight,
         kv_cache_seq_len=kv_cache_seq_len,
     )
-    gamma = method.gamma if isinstance(method, CacheAwareDIP) else 1.0
+    gamma = method.gamma if method is not None else 1.0
     return estimate_throughput(
         layout,
         device,

@@ -16,13 +16,14 @@ from repro.data.tasks import MultipleChoiceTask
 from repro.engine.inference import SparseInferenceEngine
 from repro.nn.transformer import CausalLM
 from repro.sparsity.base import DenseBaseline, SparsityMethod
+from repro.utils.numerics import log_softmax
 
 
 def _choice_log_likelihood(engine: SparseInferenceEngine, context: np.ndarray, choice: np.ndarray) -> float:
     """Length-normalised log-likelihood of ``choice`` after ``context``."""
     sequence = np.concatenate([context, choice])
     logits = engine.logits(sequence[:-1])
-    log_probs = logits - _logsumexp(logits)
+    log_probs = log_softmax(logits)
     targets = sequence[1:]
     picked = log_probs[np.arange(targets.size), targets]
     continuation = picked[len(context) - 1 :]
@@ -62,8 +63,3 @@ def suite_accuracy(
         name: task_accuracy(model, task, method=method, max_examples=max_examples)
         for name, task in tasks.items()
     }
-
-
-def _logsumexp(x: np.ndarray) -> np.ndarray:
-    m = x.max(axis=-1, keepdims=True)
-    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))

@@ -1,8 +1,15 @@
-"""Experiment runner over (model × method × density) grids."""
+"""Single-method evaluation plus deprecated grid/sweep entry points.
+
+The grid and sweep runners moved to :mod:`repro.pipeline.runner`;
+:func:`run_method_grid` and :func:`run_density_sweep` remain as thin
+deprecation shims that build a :class:`~repro.pipeline.session.SparseSession`
+and delegate.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -12,7 +19,6 @@ from repro.eval.accuracy import suite_accuracy, task_accuracy
 from repro.eval.perplexity import perplexity
 from repro.nn.transformer import CausalLM
 from repro.sparsity.base import SparsityMethod
-from repro.sparsity.registry import build_method
 from repro.utils.config import ConfigBase
 from repro.utils.logging import get_logger
 
@@ -93,6 +99,29 @@ def evaluate_method(
     )
 
 
+def _legacy_session(
+    model: CausalLM,
+    eval_sequences: np.ndarray,
+    calibration_sequences: Optional[np.ndarray],
+    primary_task: Optional[MultipleChoiceTask],
+    tasks: Optional[Dict[str, MultipleChoiceTask]],
+    settings: EvaluationSettings,
+    model_name: str,
+):
+    from repro.pipeline.session import SparseSession
+
+    return SparseSession(
+        model,
+        None,
+        settings=settings,
+        model_name=model_name,
+        eval_sequences=eval_sequences,
+        calibration_sequences=calibration_sequences,
+        primary_task=primary_task,
+        task_suite=tasks,
+    )
+
+
 def run_method_grid(
     model: CausalLM,
     method_names: Sequence[str],
@@ -105,27 +134,19 @@ def run_method_grid(
     model_name: str = "",
     method_kwargs: Optional[Dict[str, Dict]] = None,
 ) -> List[MethodEvaluation]:
-    """Evaluate several registry methods at one target density (Table 1/3/4 rows)."""
-    method_kwargs = method_kwargs or {}
-    results = []
-    for name in method_names:
-        if name == "dense":
-            method = None
-        else:
-            method = build_method(name, target_density=target_density, **method_kwargs.get(name, {}))
-        results.append(
-            evaluate_method(
-                model,
-                method,
-                eval_sequences,
-                calibration_sequences=calibration_sequences,
-                primary_task=primary_task,
-                tasks=tasks,
-                settings=settings,
-                model_name=model_name,
-            )
-        )
-    return results
+    """Deprecated shim for :func:`repro.pipeline.runner.method_grid`."""
+    warnings.warn(
+        "run_method_grid() is deprecated; use repro.pipeline.runner.method_grid() "
+        "with a SparseSession instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.pipeline.runner import method_grid
+
+    session = _legacy_session(
+        model, eval_sequences, calibration_sequences, primary_task, tasks, settings, model_name
+    )
+    return method_grid(session, method_names, target_density, method_kwargs=method_kwargs)
 
 
 def run_density_sweep(
@@ -138,19 +159,16 @@ def run_density_sweep(
     settings: EvaluationSettings = EvaluationSettings(),
     model_name: str = "",
 ) -> List[MethodEvaluation]:
-    """Evaluate one method family across densities (Pareto curves, Fig. 8/14)."""
-    results = []
-    for density in densities:
-        method = method_factory(density)
-        results.append(
-            evaluate_method(
-                model,
-                method,
-                eval_sequences,
-                calibration_sequences=calibration_sequences,
-                primary_task=primary_task,
-                settings=settings,
-                model_name=model_name,
-            )
-        )
-    return results
+    """Deprecated shim for :func:`repro.pipeline.runner.density_sweep`."""
+    warnings.warn(
+        "run_density_sweep() is deprecated; use repro.pipeline.runner.density_sweep() "
+        "with a SparseSession instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.pipeline.runner import density_sweep
+
+    session = _legacy_session(
+        model, eval_sequences, calibration_sequences, primary_task, None, settings, model_name
+    )
+    return density_sweep(session, method_factory, densities)

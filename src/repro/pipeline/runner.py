@@ -1,0 +1,163 @@
+"""Grid and sweep runners over :class:`~repro.pipeline.session.SparseSession`.
+
+These subsume the legacy ``repro.eval.harness.run_method_grid`` /
+``run_density_sweep`` free functions (which now delegate here) and add the
+spec-driven entry point :func:`run_experiment`, which evaluates a declarative
+:class:`~repro.pipeline.spec.ExperimentSpec` end to end and can persist its
+rows as artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.engine.throughput import ThroughputEstimate
+from repro.eval.harness import MethodEvaluation
+from repro.eval.reporting import format_table
+from repro.sparsity.base import SparsityMethod
+from repro.sparsity.registry import REGISTRY
+from repro.utils.logging import get_logger
+
+from repro.pipeline.session import MethodLike, SparseSession
+from repro.pipeline.spec import ExperimentSpec
+
+logger = get_logger("pipeline.runner")
+
+#: A method reference: registry name, ``None`` (dense), or factory ``density -> method``.
+MethodRef = Union[str, None, Callable[[float], Optional[SparsityMethod]]]
+
+
+def _method_at(ref: MethodRef, density: float, kwargs: Optional[Mapping[str, Any]] = None):
+    """Instantiate ``ref`` at ``density`` (name, factory, or None for dense)."""
+    if ref is None:
+        return None
+    if callable(ref):
+        return ref(density)
+    return REGISTRY.create(ref, target_density=density, **dict(kwargs or {}))
+
+
+def method_grid(
+    session: SparseSession,
+    method_names: Sequence[str],
+    target_density: float,
+    method_kwargs: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> List[MethodEvaluation]:
+    """Evaluate several registry methods at one density (Table 1/3/4 rows).
+
+    ``session`` carries the model and evaluation assets; each method runs in a
+    cloned session via :meth:`SparseSession.with_method`.
+    """
+    method_kwargs = method_kwargs or {}
+    results = []
+    for name in method_names:
+        method = _method_at(None if name == "dense" else name, target_density, method_kwargs.get(name))
+        results.append(session.with_method(method).evaluate())
+    return results
+
+
+def density_sweep(
+    session: SparseSession,
+    method: MethodRef,
+    densities: Sequence[float],
+    method_kwargs: Optional[Mapping[str, Any]] = None,
+) -> List[MethodEvaluation]:
+    """Evaluate one method family across densities (Pareto curves, Fig. 8/14)."""
+    return [
+        session.with_method(_method_at(method, density, method_kwargs)).evaluate()
+        for density in densities
+    ]
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Evaluations (and optional throughput estimates) of one experiment."""
+
+    spec: Optional[ExperimentSpec]
+    evaluations: List[MethodEvaluation]
+    throughputs: List[ThroughputEstimate] = dataclasses.field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One flat dict per evaluated operating point."""
+        paired = len(self.throughputs) == len(self.evaluations)
+        rows = []
+        for index, evaluation in enumerate(self.evaluations):
+            row = evaluation.row()
+            if paired:
+                estimate = self.throughputs[index]
+                row["tokens/s"] = estimate.tokens_per_second
+                row["cache_hit_rate"] = estimate.cache_hit_rate
+            rows.append(row)
+        return rows
+
+    def table(self, precision: int = 3, title: str = "") -> str:
+        """Rendered table of :meth:`rows`."""
+        return format_table(self.rows(), precision=precision, title=title)
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Write ``<name>.json`` (spec + rows) and ``<name>.txt`` (table)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        name = self.spec.name if self.spec is not None else "experiment"
+        payload = {
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "rows": self.rows(),
+        }
+        json_path = directory / f"{name}.json"
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        (directory / f"{name}.txt").write_text(self.table(title=name) + "\n")
+        logger.info("saved experiment artifacts to %s", json_path)
+        return json_path
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    session: Optional[SparseSession] = None,
+    cache=None,
+    include_dense: bool = False,
+    artifacts_dir: Optional[Union[str, Path]] = None,
+) -> ExperimentResult:
+    """Run a declarative experiment spec end to end.
+
+    Prepares (or reuses, via ``session``) the model, sweeps the spec's density
+    grid with its method, optionally adds the dense baseline row, estimates
+    throughput when the spec has a hardware section, and saves artifacts when
+    ``artifacts_dir`` is given.
+    """
+    if session is None:
+        session = SparseSession.from_spec(spec, cache=cache)
+
+    evaluations: List[MethodEvaluation] = []
+    throughputs: List[ThroughputEstimate] = []
+    # The spec argument is authoritative for throughput: a reused session may
+    # have been built from a different (or no) hardware section.
+    hardware = spec.hardware
+    wants_throughput = hardware is not None and session.model_spec is not None
+
+    def _run(method: MethodLike) -> None:
+        bound = session.with_method(method)
+        evaluations.append(bound.evaluate())
+        if wants_throughput:
+            throughputs.append(
+                bound.throughput(
+                    device=hardware.device_spec(),
+                    n_tokens=hardware.simulated_tokens,
+                    cache_policy=hardware.cache_policy,
+                    trace_seed=hardware.trace_seed,
+                    bits_per_weight=hardware.bits_per_weight,
+                    kv_cache_seq_len=hardware.kv_cache_seq_len,
+                )
+            )
+
+    if include_dense:
+        _run(None)
+    for density in spec.density_grid():
+        _run(spec.build_method(target_density=density))
+
+    result = ExperimentResult(spec=spec, evaluations=evaluations, throughputs=throughputs)
+    if artifacts_dir is not None:
+        result.save(artifacts_dir)
+    return result

@@ -1,0 +1,250 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a frozen, JSON-serialisable description of one
+experiment: which model to prepare, on what data, which sparsity method to
+apply at which densities, how to evaluate, and (optionally) which simulated
+device to estimate throughput on.  Specs validate on construction and raise
+:class:`SpecError` with messages that list the allowed values.
+
+The spec layer deliberately knows nothing about execution; see
+:class:`repro.pipeline.session.SparseSession` and
+:mod:`repro.pipeline.runner` for that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+
+from repro.data.tasks import TASK_NAMES
+from repro.experiments.models import PreparationConfig
+from repro.hwsim.device import DeviceSpec, get_device, list_devices
+from repro.nn.model_zoo import list_models
+from repro.sparsity.base import SparsityMethod
+from repro.sparsity.registry import REGISTRY
+from repro.utils.config import ConfigBase
+from repro.utils.units import GB
+
+S = TypeVar("S", bound="ConfigBase")
+
+#: Cache policies understood by the HW simulator.
+CACHE_POLICIES = ("none", "lru", "lfu", "belady")
+
+
+class SpecError(ValueError):
+    """An experiment spec is malformed; the message says how to fix it."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _section_from_dict(cls: Type[S], data: Optional[Mapping[str, Any]], section: str) -> S:
+    """Build a section dataclass, rejecting unknown keys with a helpful error."""
+    data = data or {}
+    if not isinstance(data, Mapping):
+        raise SpecError(f"section '{section}' must be a mapping, got {type(data).__name__}")
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - field_names)
+    if unknown:
+        raise SpecError(
+            f"section '{section}' has unknown key(s) {unknown}; valid keys: {sorted(field_names)}"
+        )
+    return cls(**dict(data))
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSection(ConfigBase):
+    """Which simulation-scale model to prepare and how to train it."""
+
+    name: str = "phi3-medium"
+    seed: int = 0
+    train_steps: int = 500
+    batch_size: int = 16
+    learning_rate: float = 3e-3
+
+    def __post_init__(self):
+        _require(self.name in list_models(), f"unknown model '{self.name}'; available: {list_models()}")
+        _require(self.train_steps > 0, "model.train_steps must be positive")
+        _require(self.batch_size > 0, "model.batch_size must be positive")
+        _require(self.learning_rate > 0, "model.learning_rate must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class DataSection(ConfigBase):
+    """Synthetic corpus and downstream-task sizes."""
+
+    corpus_tokens: int = 120_000
+    corpus_seed: int = 7
+    seq_len: int = 48
+    task_examples: int = 32
+    task_shots: int = 1
+
+    def __post_init__(self):
+        _require(self.corpus_tokens > 0, "data.corpus_tokens must be positive")
+        _require(self.seq_len > 1, "data.seq_len must exceed 1")
+        _require(self.task_examples > 0, "data.task_examples must be positive")
+        _require(self.task_shots >= 0, "data.task_shots must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodSection(ConfigBase):
+    """Registry method name, operating density, and extra constructor kwargs."""
+
+    name: str = "dip"
+    target_density: float = 0.5
+    kwargs: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        _require(
+            self.name in REGISTRY,
+            f"unknown sparsity method '{self.name}'; available: {REGISTRY.names()}",
+        )
+        _require(0.0 < self.target_density <= 1.0, "method.target_density must lie in (0, 1]")
+        try:
+            REGISTRY.validate_kwargs(self.name, dict(self.kwargs, target_density=self.target_density))
+        except TypeError as exc:
+            raise SpecError(f"method.kwargs invalid: {exc}") from exc
+
+    def build(self, target_density: Optional[float] = None) -> SparsityMethod:
+        """Instantiate the method (optionally at an overridden density)."""
+        density = self.target_density if target_density is None else target_density
+        return REGISTRY.create(self.name, target_density=density, **dict(self.kwargs))
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalSection(ConfigBase):
+    """Evaluation workload sizes and task selection."""
+
+    max_eval_sequences: int = 16
+    max_task_examples: int = 32
+    calibration_sequences: int = 8
+    #: Task scored as the headline accuracy (``None`` skips accuracy).
+    primary_task: Optional[str] = "mmlu"
+    #: Extra suite tasks to score individually (Table 5 mode).
+    tasks: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        _require(self.max_eval_sequences > 0, "eval.max_eval_sequences must be positive")
+        _require(self.max_task_examples > 0, "eval.max_task_examples must be positive")
+        _require(self.calibration_sequences > 0, "eval.calibration_sequences must be positive")
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        for task in (self.primary_task, *self.tasks):
+            _require(
+                task is None or task in TASK_NAMES,
+                f"unknown task '{task}'; available: {sorted(TASK_NAMES)}",
+            )
+
+    def settings(self):
+        """The equivalent legacy :class:`~repro.eval.harness.EvaluationSettings`."""
+        from repro.eval.harness import EvaluationSettings
+
+        return EvaluationSettings(
+            max_eval_sequences=self.max_eval_sequences,
+            max_task_examples=self.max_task_examples,
+            calibration_sequences=self.calibration_sequences,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareSection(ConfigBase):
+    """Simulated device for throughput estimation (omit for accuracy-only runs)."""
+
+    device: str = "apple-a18"
+    #: Override the preset's DRAM capacity (GB); ``None`` keeps the preset value.
+    dram_gb: Optional[float] = None
+    bits_per_weight: float = 4.0
+    simulated_tokens: int = 20
+    cache_policy: str = "lfu"
+    kv_cache_seq_len: int = 2048
+    trace_seed: int = 0
+
+    def __post_init__(self):
+        _require(
+            self.device in list_devices(),
+            f"unknown device '{self.device}'; available: {list_devices()}",
+        )
+        _require(self.dram_gb is None or self.dram_gb > 0, "hardware.dram_gb must be positive")
+        _require(self.bits_per_weight > 0, "hardware.bits_per_weight must be positive")
+        _require(self.simulated_tokens > 0, "hardware.simulated_tokens must be positive")
+        _require(
+            self.cache_policy in CACHE_POLICIES,
+            f"unknown cache policy '{self.cache_policy}'; available: {list(CACHE_POLICIES)}",
+        )
+
+    def device_spec(self) -> DeviceSpec:
+        """Resolve the preset (with the DRAM override applied)."""
+        device = get_device(self.device)
+        if self.dram_gb is not None:
+            device = device.with_dram(self.dram_gb * GB)
+        return device
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec(ConfigBase):
+    """Complete declarative description of one experiment."""
+
+    name: str = "experiment"
+    model: ModelSection = dataclasses.field(default_factory=ModelSection)
+    data: DataSection = dataclasses.field(default_factory=DataSection)
+    method: MethodSection = dataclasses.field(default_factory=MethodSection)
+    #: Density grid; empty means "just method.target_density".
+    densities: Tuple[float, ...] = ()
+    eval: EvalSection = dataclasses.field(default_factory=EvalSection)
+    hardware: Optional[HardwareSection] = dataclasses.field(default_factory=HardwareSection)
+
+    def __post_init__(self):
+        _require(bool(self.name), "spec.name must be non-empty")
+        object.__setattr__(self, "densities", tuple(float(d) for d in self.densities))
+        for density in self.densities:
+            _require(0.0 < density <= 1.0, f"density {density} must lie in (0, 1]")
+
+    # ------------------------------------------------------------- conversion
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from nested dictionaries, rejecting unknown keys."""
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec must be a mapping, got {type(data).__name__}")
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - field_names)
+        if unknown:
+            raise SpecError(f"spec has unknown key(s) {unknown}; valid keys: {sorted(field_names)}")
+        hardware = data.get("hardware", {})
+        return cls(
+            name=data.get("name", "experiment"),
+            model=_section_from_dict(ModelSection, data.get("model"), "model"),
+            data=_section_from_dict(DataSection, data.get("data"), "data"),
+            method=_section_from_dict(MethodSection, data.get("method"), "method"),
+            densities=tuple(data.get("densities", ())),
+            eval=_section_from_dict(EvalSection, data.get("eval"), "eval"),
+            hardware=None if hardware is None else _section_from_dict(HardwareSection, hardware, "hardware"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------- derivation
+    def density_grid(self) -> Tuple[float, ...]:
+        """Densities to evaluate (falls back to the method's target density)."""
+        return self.densities if self.densities else (self.method.target_density,)
+
+    def preparation(self) -> PreparationConfig:
+        """Model/data sections mapped onto the experiment-prep config."""
+        return PreparationConfig(
+            corpus_tokens=self.data.corpus_tokens,
+            corpus_seed=self.data.corpus_seed,
+            seq_len=self.data.seq_len,
+            train_steps=self.model.train_steps,
+            batch_size=self.model.batch_size,
+            learning_rate=self.model.learning_rate,
+            model_seed=self.model.seed,
+            task_examples=self.data.task_examples,
+            task_shots=self.data.task_shots,
+        )
+
+    def build_method(self, target_density: Optional[float] = None) -> SparsityMethod:
+        """Instantiate the spec's sparsity method."""
+        return self.method.build(target_density)

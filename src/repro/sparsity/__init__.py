@@ -45,7 +45,18 @@ from repro.sparsity.cats import CATS
 from repro.sparsity.dip import DynamicInputPruning
 from repro.sparsity.cache_aware import CacheAwareDIP, LayerCacheState, cache_aware_scores
 from repro.sparsity.density import DIPDensityAllocation, allocate_dip_densities, fit_allocation_model
-from repro.sparsity.registry import build_method, available_methods, METHOD_REGISTRY
+from repro.sparsity.registry import (
+    METHOD_REGISTRY,
+    REGISTRY,
+    MethodInfo,
+    MethodRegistry,
+    UnknownMethodError,
+    available_methods,
+    build_method,
+    create_method,
+    describe_methods,
+    register_method,
+)
 
 __all__ = [
     "MLPMasks",
@@ -72,6 +83,13 @@ __all__ = [
     "allocate_dip_densities",
     "fit_allocation_model",
     "build_method",
+    "create_method",
+    "register_method",
+    "describe_methods",
     "available_methods",
+    "REGISTRY",
+    "MethodInfo",
+    "MethodRegistry",
+    "UnknownMethodError",
     "METHOD_REGISTRY",
 ]

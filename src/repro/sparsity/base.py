@@ -139,6 +139,9 @@ class SparsityMethod:
     requires_cache_state: bool = False
     #: Whether :meth:`calibrate` must be called before use.
     requires_calibration: bool = False
+    #: Eq. 10 cache re-weighting factor; 1.0 (no re-weighting) for every
+    #: cache-oblivious method.  Cache-aware methods override this.
+    gamma: float = 1.0
 
     def __init__(self, target_density: float = 0.5):
         if not 0.0 < target_density <= 1.0:
@@ -151,6 +154,15 @@ class SparsityMethod:
 
         The default implementation is a no-op; methods that need calibration
         set ``requires_calibration = True`` and override this.
+        """
+
+    # ------------------------------------------------------------- lifecycle
+    def reset(self) -> None:
+        """Clear any per-run mutable state (cache models, statistics).
+
+        The default is a no-op; stateful methods (DIP-CA) override it.  The
+        inference engine and :class:`~repro.pipeline.session.SparseSession`
+        call this between evaluations so results never depend on prior usage.
         """
 
     # ----------------------------------------------------------------- masks

@@ -159,11 +159,15 @@ class CacheAwareDIP(DynamicInputPruning):
             self._caches[key] = LayerCacheState(n_units, capacity)
         return self._caches[key]
 
-    def reset_cache(self) -> None:
+    def reset(self) -> None:
         """Clear all per-layer cache states and hit statistics."""
         for cache in self._caches.values():
             cache.reset()
         self.stats = CacheHitStats()
+
+    def reset_cache(self) -> None:
+        """Backwards-compatible alias for :meth:`reset`."""
+        self.reset()
 
     # ------------------------------------------------------------------ masks
     def compute_masks(self, mlp: SwiGLUMLP, layer_index: int, x: np.ndarray) -> MLPMasks:

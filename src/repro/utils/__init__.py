@@ -4,6 +4,7 @@ from repro.utils.rng import RngMixin, new_rng, spawn_rng
 from repro.utils.config import ConfigBase, config_hash, asdict_shallow
 from repro.utils.pareto import pareto_front, pareto_front_indices, interpolate_front
 from repro.utils.logging import get_logger
+from repro.utils.numerics import logsumexp, log_softmax, softmax
 from repro.utils.units import GB, MB, KB, bytes_to_gb, bytes_to_mb, format_bytes
 
 __all__ = [
@@ -17,6 +18,9 @@ __all__ = [
     "pareto_front_indices",
     "interpolate_front",
     "get_logger",
+    "logsumexp",
+    "log_softmax",
+    "softmax",
     "GB",
     "MB",
     "KB",

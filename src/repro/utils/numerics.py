@@ -1,0 +1,32 @@
+"""Shared numerically-stable primitives.
+
+Previously ``repro.engine.inference`` and ``repro.eval.accuracy`` each carried
+a private ``_logsumexp``; this module is the single home for the family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def logsumexp(x: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarray:
+    """Stable ``log(sum(exp(x)))`` reduction along ``axis``.
+
+    Subtracts the per-slice maximum before exponentiating, so the result is
+    finite whenever the inputs are.
+    """
+    x = np.asarray(x)
+    m = x.max(axis=axis, keepdims=True)
+    out = m + np.log(np.exp(x - m).sum(axis=axis, keepdims=True))
+    return out if keepdims else np.squeeze(out, axis=axis)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log-probabilities ``x - logsumexp(x)`` along ``axis``."""
+    x = np.asarray(x)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    return np.exp(log_softmax(x, axis=axis))

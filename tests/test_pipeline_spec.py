@@ -1,0 +1,130 @@
+"""Tests for the declarative experiment spec layer."""
+
+import json
+
+import pytest
+
+from repro.experiments.models import PreparationConfig
+from repro.pipeline.spec import (
+    DataSection,
+    EvalSection,
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    SpecError,
+)
+from repro.utils.units import GB
+
+
+def _custom_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="custom",
+        model=ModelSection(name="phi3-mini", seed=3, train_steps=100),
+        data=DataSection(corpus_tokens=30_000, seq_len=32, task_examples=8),
+        method=MethodSection(name="dip-ca", target_density=0.4, kwargs={"gamma": 0.3}),
+        densities=(0.4, 0.6),
+        eval=EvalSection(max_eval_sequences=4, primary_task="boolq", tasks=("piqa", "boolq")),
+        hardware=HardwareSection(device="budget-phone", dram_gb=1.5, simulated_tokens=10),
+    )
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        spec = _custom_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = _custom_spec()
+        assert ExperimentSpec.from_json(json.dumps(spec.to_dict())) == spec
+
+    def test_defaults_round_trip(self):
+        spec = ExperimentSpec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_hardware_none_round_trip(self):
+        spec = ExperimentSpec(hardware=None)
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored.hardware is None
+        assert restored == spec
+
+    def test_from_dict_partial_sections(self):
+        spec = ExperimentSpec.from_dict({"method": {"name": "cats", "target_density": 0.6}})
+        assert spec.method.name == "cats"
+        assert spec.model.name == "phi3-medium"  # default
+
+
+class TestValidation:
+    def test_unknown_model(self):
+        with pytest.raises(SpecError, match="unknown model"):
+            ModelSection(name="gpt-17")
+
+    def test_unknown_method(self):
+        with pytest.raises(SpecError, match="unknown sparsity method"):
+            MethodSection(name="magic")
+
+    def test_method_kwargs_validated_against_registry(self):
+        with pytest.raises(SpecError, match="accepted parameters"):
+            MethodSection(name="dip", kwargs={"predictor_hidden": 32})
+
+    def test_density_out_of_range(self):
+        with pytest.raises(SpecError, match="target_density"):
+            MethodSection(name="dip", target_density=1.5)
+        with pytest.raises(SpecError, match="lie in"):
+            ExperimentSpec(densities=(0.5, 0.0))
+
+    def test_unknown_task(self):
+        with pytest.raises(SpecError, match="unknown task"):
+            EvalSection(primary_task="jeopardy")
+
+    def test_unknown_device_and_policy(self):
+        with pytest.raises(SpecError, match="unknown device"):
+            HardwareSection(device="abacus")
+        with pytest.raises(SpecError, match="cache policy"):
+            HardwareSection(cache_policy="random")
+
+    def test_from_dict_unknown_top_level_key(self):
+        with pytest.raises(SpecError, match="unknown key"):
+            ExperimentSpec.from_dict({"modle": {}})
+
+    def test_from_dict_unknown_section_key(self):
+        with pytest.raises(SpecError, match="valid keys"):
+            ExperimentSpec.from_dict({"eval": {"max_sequences": 4}})
+
+    def test_negative_sizes(self):
+        with pytest.raises(SpecError):
+            DataSection(corpus_tokens=0)
+        with pytest.raises(SpecError):
+            EvalSection(max_eval_sequences=0)
+
+
+class TestDerivation:
+    def test_preparation_mapping(self):
+        spec = _custom_spec()
+        prep = spec.preparation()
+        assert isinstance(prep, PreparationConfig)
+        assert prep.corpus_tokens == 30_000
+        assert prep.train_steps == 100
+        assert prep.model_seed == 3
+        assert prep.task_examples == 8
+
+    def test_density_grid_fallback(self):
+        assert ExperimentSpec(method=MethodSection(target_density=0.7)).density_grid() == (0.7,)
+        assert _custom_spec().density_grid() == (0.4, 0.6)
+
+    def test_build_method(self):
+        spec = _custom_spec()
+        method = spec.build_method()
+        assert method.name == "dip-ca"
+        assert method.target_density == 0.4
+        assert method.gamma == 0.3
+        override = spec.build_method(target_density=0.6)
+        assert override.target_density == 0.6
+
+    def test_device_spec_with_dram_override(self):
+        hardware = HardwareSection(device="apple-a18", dram_gb=2.0)
+        assert hardware.device_spec().dram_capacity_bytes == pytest.approx(2.0 * GB)
+
+    def test_eval_settings_mapping(self):
+        settings = _custom_spec().eval.settings()
+        assert settings.max_eval_sequences == 4
