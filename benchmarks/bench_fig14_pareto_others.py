@@ -1,38 +1,51 @@
 """Figure 14 — Pareto curves for Phi-3-Mini, Llama-3-8B and Mistral-7B.
 
-Same protocol as Figure 8 on the remaining three models (perplexity panel).
-Reproduction target: the method ordering transfers across models — DIP stays
-below CATS / DejaVu at every density on every model.
+Same protocol as Figure 8 on the remaining three models (perplexity panel),
+run through the pipeline API: an :class:`~repro.pipeline.spec.ExperimentSpec`
+per model fixes the protocol and
+:func:`~repro.pipeline.runner.density_sweep` iterates a shared
+:class:`~repro.pipeline.session.SparseSession`.  Reproduction target: the
+method ordering transfers across models — DIP stays below CATS / DejaVu at
+every density on every model.
 """
 
 import numpy as np
 
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_series
-from repro.sparsity.registry import create_method
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession, density_sweep
 
 DENSITIES = [0.35, 0.5, 0.7, 0.9] if not FAST else [0.4, 0.7]
 METHODS = ["dejavu", "cats", "dip"]
+METHOD_KWARGS = {"dejavu": {"predictor_hidden": 32, "predictor_epochs": 3}}
 MODELS = ["phi3-mini", "llama3-8b", "mistral-7b"]
+
+
+def _spec(model_name, bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"fig14-pareto-{model_name}",
+        model=ModelSection(name=model_name),
+        method=MethodSection(name="dip"),
+        densities=tuple(DENSITIES),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,  # perplexity panel only
+        ),
+        hardware=None,
+    )
 
 
 def run_fig14(prepared_models, bench_settings):
     outputs = {}
     for model_name in MODELS:
         prepared = prepared_models[model_name]
-        eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-        calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+        session = SparseSession.from_spec(_spec(model_name, bench_settings), prepared=prepared)
         series = {}
         for name in METHODS:
-            ppls = []
-            for density in DENSITIES:
-                kwargs = {"predictor_hidden": 32, "predictor_epochs": 3} if name == "dejavu" else {}
-                method = create_method(name, target_density=density, **kwargs)
-                if method.requires_calibration:
-                    method.calibrate(prepared.model, calib)
-                ppls.append(perplexity(prepared.model, eval_seqs, method))
-            series[name] = ppls
+            results = density_sweep(session, name, DENSITIES, method_kwargs=METHOD_KWARGS.get(name))
+            series[name] = [r.perplexity for r in results]
         outputs[model_name] = (series, prepared.dense_ppl)
     return outputs
 

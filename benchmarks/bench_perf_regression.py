@@ -1,0 +1,135 @@
+"""Perf-tracking benchmark: batched vs sequential sparse inference.
+
+Times dense and sparse perplexity on a tiny model-zoo model two ways — the
+batched engine path (one forward per length bucket) and the legacy
+sequence-by-sequence loop — asserts they agree numerically, and writes the
+speedups to ``BENCH_batched_inference.json`` at the repo root so the numbers
+are tracked across PRs.
+
+Runs standalone (no pytest, no trained checkpoints: timing does not need
+trained weights)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py [--check] [--fast]
+
+``--check`` exits non-zero if any batched run is slower than its sequential
+loop (the CI smoke gate); ``--fast`` shrinks the workload for CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.inference import SparseInferenceEngine
+from repro.nn.model_zoo import build_model, get_model_spec
+from repro.sparsity.base import DenseBaseline
+from repro.sparsity.dip import DynamicInputPruning
+from repro.utils.numerics import log_softmax
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched_inference.json"
+
+MODEL_NAME = "tiny"  # smallest zoo entry: d_model=32, 2 layers
+
+
+def sequential_perplexity(engine: SparseInferenceEngine, sequences: np.ndarray) -> float:
+    """The pre-batching reference implementation: one forward per sequence."""
+    total_nll = 0.0
+    total_tokens = 0
+    for sequence in sequences:
+        logits = engine.logits(sequence[:-1])
+        log_probs = log_softmax(logits)
+        targets = sequence[1:]
+        total_nll -= float(log_probs[np.arange(targets.size), targets].sum())
+        total_tokens += targets.size
+    return float(np.exp(total_nll / total_tokens))
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time (seconds) of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(batch: int = 16, seq_len: int = 8, repeats: int = 15, fast: bool = False) -> dict:
+    if fast:
+        batch, seq_len, repeats = 16, 8, 5
+    spec = get_model_spec(MODEL_NAME)
+    model = build_model(MODEL_NAME, seed=0)
+    model.eval()
+    rng = np.random.default_rng(0)
+    sequences = rng.integers(0, spec.sim_config.vocab_size, size=(batch, seq_len), dtype=np.int64)
+
+    methods = {
+        "dense": lambda: DenseBaseline(),
+        "dip": lambda: DynamicInputPruning(0.5),
+    }
+    results = {}
+    for name, make in methods.items():
+        engine = SparseInferenceEngine(model, make())
+        engine.reset()
+        ppl_sequential = sequential_perplexity(engine, sequences)
+        engine.reset()
+        ppl_batched = engine.perplexity(sequences)
+        if not np.isclose(ppl_sequential, ppl_batched, rtol=0, atol=1e-8):
+            raise AssertionError(
+                f"{name}: batched perplexity {ppl_batched!r} != sequential {ppl_sequential!r}"
+            )
+        t_sequential = _time(lambda: sequential_perplexity(engine, sequences), repeats)
+        t_batched = _time(lambda: engine.perplexity(sequences), repeats)
+        results[name] = {
+            "perplexity": ppl_batched,
+            "sequential_seconds": t_sequential,
+            "batched_seconds": t_batched,
+            "speedup": t_sequential / t_batched,
+        }
+    return {
+        "model": MODEL_NAME,
+        "batch": int(batch),
+        "seq_len": int(seq_len),
+        "repeats": int(repeats),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "methods": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if any batched run is slower than the sequential loop")
+    parser.add_argument("--fast", action="store_true", help="smaller workload for CI smoke runs")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH,
+                        help=f"where to write the JSON record (default: {RESULT_PATH})")
+    args = parser.parse_args(argv)
+
+    payload = run(fast=args.fast)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(n) for n in payload["methods"])
+    print(f"batched vs sequential perplexity — {payload['model']} "
+          f"(batch={payload['batch']}, seq_len={payload['seq_len']})")
+    ok = True
+    for name, row in payload["methods"].items():
+        print(f"  {name:<{width}}  sequential {row['sequential_seconds']*1e3:8.1f} ms   "
+              f"batched {row['batched_seconds']*1e3:8.1f} ms   speedup {row['speedup']:.2f}x")
+        if row["speedup"] < 1.0:
+            ok = False
+    print(f"written to {args.output}")
+    if args.check and not ok:
+        print("FAIL: batched evaluation slower than the sequential loop", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@
   coupled accuracy-vs-throughput sweeps used by Table 2 and Figure 11.
 """
 
-from repro.engine.inference import SparseInferenceEngine, MaskRecorder
+from repro.engine.inference import SparseInferenceEngine, MaskRecorder, iter_length_buckets
 from repro.engine.throughput import (
     ThroughputEstimate,
     estimate_throughput,
@@ -19,6 +19,7 @@ from repro.engine.throughput import (
 __all__ = [
     "SparseInferenceEngine",
     "MaskRecorder",
+    "iter_length_buckets",
     "ThroughputEstimate",
     "estimate_throughput",
     "throughput_for_method",

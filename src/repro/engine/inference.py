@@ -1,14 +1,73 @@
-"""Running a model with a sparsity method active."""
+"""Running a model with a sparsity method active.
+
+The engine is *batched by default*: every evaluation entry point stacks
+sequences of equal length and issues one model forward per bucket, flattening
+the ``(batch, seq)`` hidden states to a ``(batch*seq, d_model)`` token axis
+around the sparsity method — so every registered method gets batching for
+free, without knowing about the batch dimension.  Flattening is C-ordered
+(sequence 0's tokens first), which preserves the per-layer token order of the
+old sequence-by-sequence loop; even the stateful cache-aware method therefore
+produces identical masks batched and sequential.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.nn.transformer import CausalLM, TransformerBlock
 from repro.sparsity.base import MLPMasks, SparsityMethod, masks_mlp_density
-from repro.utils.numerics import log_softmax
+from repro.utils.numerics import logsumexp
+
+
+def _as_sequence_list(sequences) -> List[np.ndarray]:
+    """Normalise input to a list of 1-D int64 token sequences.
+
+    Accepts a single 1-D sequence, a 2-D ``(n, seq)`` array, or an iterable of
+    (possibly ragged) 1-D sequences.
+    """
+    if isinstance(sequences, np.ndarray):
+        if sequences.ndim == 1:
+            return [sequences.astype(np.int64, copy=False)]
+        if sequences.ndim == 2:
+            return list(sequences.astype(np.int64, copy=False))
+        raise ValueError("sequences must be 1-D, 2-D, or a list of 1-D arrays")
+    return [np.asarray(s, dtype=np.int64) for s in sequences]
+
+
+#: Default token budget per batched forward.  Chosen so the big per-layer
+#: intermediates stay roughly cache-resident: very large batches of long
+#: sequences stream multi-MB temporaries through every elementwise op and end
+#: up slower than moderate chunks.
+DEFAULT_BATCH_TOKENS = 256
+
+
+def iter_length_buckets(
+    sequences: Sequence[np.ndarray],
+    batch_size: Optional[int] = None,
+    max_tokens: Optional[int] = None,
+) -> Iterator[List[Tuple[int, np.ndarray]]]:
+    """Yield ``(original_index, sequence)`` batches of equal-length sequences.
+
+    Ragged inputs are grouped by length (first-seen order, stable within each
+    group), so each batch can be stacked into one ``(batch, seq)`` array.
+    ``batch_size`` caps the bucket size; otherwise ``max_tokens`` caps the
+    batch at ``max_tokens // length`` sequences; with neither, each length
+    group is a single batch.
+    """
+    groups: dict = {}
+    for index, seq in enumerate(sequences):
+        groups.setdefault(len(seq), []).append((index, seq))
+    for length, group in groups.items():
+        if batch_size is not None:
+            step = batch_size
+        elif max_tokens is not None:
+            step = max(1, max_tokens // max(1, length))
+        else:
+            step = len(group)
+        for start in range(0, len(group), step):
+            yield group[start : start + step]
 
 
 class MaskRecorder:
@@ -52,6 +111,29 @@ class MaskRecorder:
         densities = [masks_mlp_density(self.layer_masks(i), d_model, d_ffn) for i in range(self.n_layers)]
         return float(np.mean(densities))
 
+    def n_recorded_tokens(self) -> int:
+        """Token rows recorded so far (layer 0; all layers record in step)."""
+        return sum(chunk.n_tokens for chunk in self._per_layer[0]) if self._per_layer else 0
+
+
+def _permute_token_rows(masks: MLPMasks, permutation: np.ndarray, skip_rows: int) -> MLPMasks:
+    """Reorder the last ``len(permutation)`` token rows of every mask array."""
+
+    def reorder(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if array is None:
+            return None
+        tail = array[skip_rows:][permutation]
+        return np.concatenate([array[:skip_rows], tail], axis=0) if skip_rows else tail
+
+    return MLPMasks(
+        down_mask=reorder(masks.down_mask),
+        input_mask=reorder(masks.input_mask),
+        up_axis=masks.up_axis,
+        up_mask=reorder(masks.up_mask),
+        gate_axis=masks.gate_axis,
+        gate_mask=reorder(masks.gate_mask),
+    )
+
 
 class SparseInferenceEngine:
     """Evaluate a model with an MLP sparsity method substituted in.
@@ -65,13 +147,25 @@ class SparseInferenceEngine:
         self.model = model
         self.method = method
         self.recorder = MaskRecorder(len(model.blocks)) if record_masks else None
+        #: Token budget per batched forward when no explicit batch size is
+        #: given (see :data:`DEFAULT_BATCH_TOKENS`).
+        self.max_batch_tokens = DEFAULT_BATCH_TOKENS
 
     # ----------------------------------------------------------------- hooks
     def _mlp_override(self, block: TransformerBlock, normed: np.ndarray) -> np.ndarray:
+        # Flatten a batched (batch, seq, d_model) input to one (batch*seq,
+        # d_model) token axis: sparsity methods only ever see (T, d_model).
+        batched = normed.ndim == 3
+        if batched:
+            batch, seq, d_model = normed.shape
+            normed = normed.reshape(batch * seq, d_model)
         masks = self.method.compute_masks(block.mlp, block.layer_index, normed)
         if self.recorder is not None:
             self.recorder.record(block.layer_index, masks)
-        return self.method.sparse_forward(block.mlp, block.layer_index, normed, masks)
+        out = self.method.sparse_forward(block.mlp, block.layer_index, normed, masks)
+        if batched:
+            out = out.reshape(batch, seq, d_model)
+        return out
 
     # ------------------------------------------------------------------- API
     def reset(self) -> None:
@@ -81,38 +175,141 @@ class SparseInferenceEngine:
             self.recorder = MaskRecorder(len(self.model.blocks))
 
     def logits(self, token_ids: np.ndarray) -> np.ndarray:
-        """Logits for one sequence of token ids under the sparse model."""
+        """Logits for ``(seq,)`` or ``(batch, seq)`` token ids under the sparse model."""
         return self.model.forward_array(np.asarray(token_ids, dtype=np.int64), mlp_override=self._mlp_override)
 
     def sequence_log_likelihood(self, token_ids: np.ndarray, continuation_start: int = 1) -> float:
         """Sum of next-token log-probabilities from ``continuation_start`` onward."""
-        token_ids = np.asarray(token_ids, dtype=np.int64)
-        logits = self.logits(token_ids[:-1])
-        log_probs = log_softmax(logits)
-        targets = token_ids[1:]
-        picked = log_probs[np.arange(targets.size), targets]
-        return float(picked[continuation_start - 1 :].sum())
+        return float(
+            self.sequence_log_likelihoods([np.asarray(token_ids, dtype=np.int64)], continuation_start)[0]
+        )
 
-    def perplexity(self, sequences: np.ndarray, max_sequences: Optional[int] = None) -> float:
-        """Token-level perplexity over a batch of sequences."""
-        sequences = np.atleast_2d(np.asarray(sequences, dtype=np.int64))
+    def sequence_log_likelihoods(
+        self,
+        sequences,
+        continuation_starts=1,
+        reduction: str = "sum",
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-sequence continuation log-likelihoods, batched by length bucket.
+
+        ``continuation_starts`` is a scalar or one value per sequence; entry
+        ``i`` reduces the log-probabilities of tokens
+        ``sequences[i][continuation_starts[i]:]`` with ``reduction`` (``"sum"``
+        or ``"mean"``).  The result is aligned with the input order regardless
+        of bucketing.
+        """
+        if reduction not in ("sum", "mean"):
+            raise ValueError("reduction must be 'sum' or 'mean'")
+        sequences = _as_sequence_list(sequences)
+        starts = np.broadcast_to(np.asarray(continuation_starts, dtype=np.int64), (len(sequences),))
+        results = np.empty(len(sequences), dtype=np.float64)
+        for bucket in iter_length_buckets(sequences, batch_size, self.max_batch_tokens):
+            indices = [index for index, _ in bucket]
+            ids = np.stack([seq for _, seq in bucket])  # (b, L)
+            picked = self._picked_log_probs(ids)
+            # Mask out the context part: token j of picked predicts ids[j+1].
+            positions = np.arange(picked.shape[1])[None, :]
+            keep = positions >= (starts[indices] - 1)[:, None]
+            totals = np.where(keep, picked, 0.0).sum(axis=-1)
+            if reduction == "mean":
+                totals = totals / np.maximum(keep.sum(axis=-1), 1)
+            results[indices] = totals
+        return results
+
+    def perplexity(
+        self,
+        sequences: np.ndarray,
+        max_sequences: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> float:
+        """Token-level perplexity over sequences, one forward per length bucket.
+
+        Ragged inputs (a list of unequal-length sequences) are bucketed by
+        length; ``batch_size`` caps the number of sequences per forward.
+        """
+        sequences = _as_sequence_list(sequences)
         if max_sequences is not None:
             sequences = sequences[:max_sequences]
         total_nll = 0.0
         total_tokens = 0
-        for sequence in sequences:
-            logits = self.logits(sequence[:-1])
-            log_probs = log_softmax(logits)
-            targets = sequence[1:]
-            total_nll -= float(log_probs[np.arange(targets.size), targets].sum())
-            total_tokens += targets.size
+        for bucket in iter_length_buckets(sequences, batch_size, self.max_batch_tokens):
+            ids = np.stack([seq for _, seq in bucket])
+            picked = self._picked_log_probs(ids)
+            total_nll -= float(picked.sum())
+            total_tokens += picked.size
         return float(np.exp(total_nll / total_tokens))
 
-    def collect_masks(self, sequences: np.ndarray) -> List[MLPMasks]:
-        """Run sequences purely to record masks (for HW-simulator traces)."""
+    def _picked_log_probs(self, ids: np.ndarray) -> np.ndarray:
+        """Next-token log-probabilities ``(batch, L-1)`` for stacked sequences.
+
+        Normalises each picked logit by ``logsumexp`` directly instead of
+        materialising the full ``(batch, L-1, vocab)`` log-softmax array.
+        """
+        logits = self.logits(ids[:, :-1])
+        targets = ids[:, 1:]
+        picked = np.take_along_axis(logits, targets[..., None], axis=-1)[..., 0]
+        return picked - logsumexp(logits, axis=-1)
+
+    def collect_masks(
+        self, sequences: np.ndarray, batch_size: Optional[int] = None
+    ) -> List[MLPMasks]:
+        """Run sequences purely to record masks (for HW-simulator traces).
+
+        Mask rows come back in input order (sequence 0's tokens first) even
+        for ragged inputs, whose buckets are processed out of order: the
+        recorded rows are permuted back so trace consumers can correlate rows
+        to sequence/token positions exactly as the old per-sequence loop did.
+        """
         if self.recorder is None:
             self.recorder = MaskRecorder(len(self.model.blocks))
-        sequences = np.atleast_2d(np.asarray(sequences, dtype=np.int64))
-        for sequence in sequences:
-            self.logits(sequence)
-        return self.recorder.all_layer_masks()
+        sequences = _as_sequence_list(sequences)
+        skip_rows = self.recorder.n_recorded_tokens()
+        owners: List[int] = []
+        for bucket in iter_length_buckets(sequences, batch_size, self.max_batch_tokens):
+            self.logits(np.stack([seq for _, seq in bucket]))
+            for index, seq in bucket:
+                owners.extend([index] * len(seq))
+        masks = self.recorder.all_layer_masks()
+        permutation = np.argsort(np.asarray(owners), kind="stable")
+        if not np.array_equal(permutation, np.arange(len(owners))):
+            masks = [_permute_token_rows(m, permutation, skip_rows) for m in masks]
+        return masks
+
+    # -------------------------------------------------------------- generation
+    def generate(
+        self,
+        prompt_ids: Sequence[int],
+        max_new_tokens: int,
+        temperature: float = 1.0,
+        rng=None,
+    ) -> np.ndarray:
+        """Autoregressive sampling with the sparsity method active."""
+        return self.model.generate(
+            prompt_ids, max_new_tokens, temperature=temperature, rng=rng, mlp_override=self._mlp_override
+        )
+
+    def generate_batch(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 1.0,
+        rng=None,
+    ) -> np.ndarray:
+        """Batched sampling across equal-length prompts (one forward per step).
+
+        Methods whose masks depend on a cache state (DIP-CA, Algorithm 1)
+        define token order as part of the method, so they fall back to the
+        sequential per-prompt loop — batched decode would interleave prompts
+        and change the masks.
+        """
+        prompts = np.asarray(prompts, dtype=np.int64)
+        if prompts.ndim == 1:
+            prompts = prompts[None]
+        if self.method.requires_cache_state:
+            return np.stack(
+                [self.generate(p, max_new_tokens, temperature=temperature, rng=rng) for p in prompts]
+            )
+        return self.model.generate_batch(
+            prompts, max_new_tokens, temperature=temperature, rng=rng, mlp_override=self._mlp_override
+        )

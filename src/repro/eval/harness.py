@@ -32,6 +32,8 @@ class EvaluationSettings(ConfigBase):
     max_eval_sequences: int = 16
     max_task_examples: int = 32
     calibration_sequences: int = 8
+    #: Sequences per batched forward (``None`` = one forward per length bucket).
+    batch_size: Optional[int] = None
 
 
 @dataclasses.dataclass

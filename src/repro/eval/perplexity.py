@@ -16,15 +16,18 @@ def perplexity(
     sequences: np.ndarray,
     method: Optional[SparsityMethod] = None,
     max_sequences: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> float:
     """Token-level perplexity of ``model`` on ``sequences`` with ``method`` active.
 
     ``method=None`` evaluates the dense model.  Stateful methods (DIP-CA) are
     reset before evaluation so results do not depend on prior usage.
+    Evaluation is batched (one forward per length bucket, ``batch_size``
+    sequences at most).
     """
     engine = SparseInferenceEngine(model, method if method is not None else DenseBaseline())
     engine.reset()
-    return engine.perplexity(sequences, max_sequences=max_sequences)
+    return engine.perplexity(sequences, max_sequences=max_sequences, batch_size=batch_size)
 
 
 def dense_perplexity(model: CausalLM, sequences: np.ndarray, max_sequences: Optional[int] = None) -> float:

@@ -53,12 +53,21 @@ class RotaryEmbedding:
         angles = positions * freqs  # (seq, head_dim/2)
         self.cos = np.cos(angles)
         self.sin = np.sin(angles)
+        # Each (even, odd) float pair rotated by angle t is exactly the complex
+        # product (x_even + i*x_odd) * (cos t + i*sin t): same four multiplies
+        # and two adds, but fused into a single vectorised pass.
+        self._rotor = self.cos + 1j * self.sin  # (seq, head_dim/2) complex128
 
     def rotate(self, x: np.ndarray, position_offset: int = 0) -> np.ndarray:
         """Apply rotary embedding to ``x`` of shape ``(..., seq, head_dim)``."""
         seq_len = x.shape[-2]
         if position_offset + seq_len > self.max_seq_len:
             raise ValueError("sequence exceeds RoPE table length")
+        rotor = self._rotor[position_offset : position_offset + seq_len]
+        if x.dtype == np.float64 and x.strides[-1] == x.itemsize:
+            # Zero-copy complex view of the interleaved (even, odd) pairs.
+            rotated = x.view(np.complex128) * rotor
+            return rotated.view(np.float64)
         cos = self.cos[position_offset : position_offset + seq_len]
         sin = self.sin[position_offset : position_offset + seq_len]
         x_even = x[..., 0::2]
@@ -70,35 +79,62 @@ class RotaryEmbedding:
 
 
 class KVCache:
-    """Per-layer key/value cache used during autoregressive decoding."""
+    """Per-layer key/value cache used during autoregressive decoding.
 
-    def __init__(self, n_kv_heads: int, head_dim: int, max_seq_len: int):
+    The cache is batched: it holds ``(batch, n_kv_heads, max_seq_len,
+    head_dim)`` arrays and decodes a whole batch of sequences in lock-step.
+    ``batch_size=1`` (the default) reproduces the original single-sequence
+    cache; 3-D appends of shape ``(n_kv_heads, t, head_dim)`` keep working
+    and return 3-D views.
+    """
+
+    def __init__(self, n_kv_heads: int, head_dim: int, max_seq_len: int, batch_size: int = 1):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.n_kv_heads = n_kv_heads
         self.head_dim = head_dim
         self.max_seq_len = max_seq_len
-        self.keys = np.zeros((n_kv_heads, max_seq_len, head_dim))
-        self.values = np.zeros((n_kv_heads, max_seq_len, head_dim))
+        self.batch_size = batch_size
+        self.keys = np.zeros((batch_size, n_kv_heads, max_seq_len, head_dim))
+        self.values = np.zeros((batch_size, n_kv_heads, max_seq_len, head_dim))
         self.length = 0
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Append new keys/values of shape ``(n_kv_heads, t, head_dim)``.
+        """Append new keys/values for ``t`` tokens per sequence.
 
-        Returns views of the full cached keys/values up to the new length.
+        Accepts ``(batch, n_kv_heads, t, head_dim)`` or — for a batch-1 cache
+        — the legacy ``(n_kv_heads, t, head_dim)``.  Returns views of the full
+        cached keys/values up to the new length, in the same rank as the
+        input.
         """
-        t = keys.shape[1]
+        squeeze = keys.ndim == 3
+        if squeeze:
+            keys = keys[None]
+            values = values[None]
+        if keys.shape[0] != self.batch_size:
+            raise ValueError(
+                f"cache holds batch_size={self.batch_size} but got batch {keys.shape[0]}"
+            )
+        t = keys.shape[2]
         if self.length + t > self.max_seq_len:
             raise RuntimeError("KV cache overflow")
-        self.keys[:, self.length : self.length + t] = keys
-        self.values[:, self.length : self.length + t] = values
+        self.keys[:, :, self.length : self.length + t] = keys
+        self.values[:, :, self.length : self.length + t] = values
         self.length += t
-        return self.keys[:, : self.length], self.values[:, : self.length]
+        k_all = self.keys[:, :, : self.length]
+        v_all = self.values[:, :, : self.length]
+        if squeeze:
+            return k_all[0], v_all[0]
+        return k_all, v_all
 
     def reset(self) -> None:
         self.length = 0
 
     def memory_bytes(self, bytes_per_element: float = 2.0) -> float:
         """Approximate KV-cache footprint (fp16 by default)."""
-        return 2.0 * self.n_kv_heads * self.max_seq_len * self.head_dim * bytes_per_element
+        return (
+            2.0 * self.batch_size * self.n_kv_heads * self.max_seq_len * self.head_dim * bytes_per_element
+        )
 
 
 class GroupedQueryAttention(Module):
@@ -151,8 +187,7 @@ class GroupedQueryAttention(Module):
 
         scale = 1.0 / np.sqrt(cfg.head_dim)
         scores = q.matmul(k.swapaxes(-1, -2)) * scale
-        causal = np.triu(np.full((seq, seq), -1e9), k=1)
-        scores = scores + causal
+        scores = scores + _causal_bias(seq)
         weights = F.softmax(scores, axis=-1)
         context = weights.matmul(v)  # (batch, heads, seq, head_dim)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, d)
@@ -162,16 +197,22 @@ class GroupedQueryAttention(Module):
     def forward_array(self, x: np.ndarray, kv_cache: Optional[KVCache] = None) -> np.ndarray:
         """Inference path on plain arrays, optionally using a KV cache.
 
-        ``x`` has shape ``(seq, d_model)`` (single sequence).  With a cache the
-        call processes ``seq`` new tokens appended after the cached prefix.
+        ``x`` has shape ``(seq, d_model)`` (single sequence) or
+        ``(batch, seq, d_model)``; the output matches the input rank.  With a
+        cache the call processes ``seq`` new tokens per sequence appended
+        after the cached prefix.
         """
         cfg = self.config
-        seq = x.shape[0]
+        squeeze = x.ndim == 2
+        if squeeze:
+            x = x[None]
+        batch, seq, _ = x.shape
         offset = kv_cache.length if kv_cache is not None else 0
 
-        q = self.q_proj.forward_array(x).reshape(seq, cfg.n_heads, cfg.head_dim).transpose(1, 0, 2)
-        k = self.k_proj.forward_array(x).reshape(seq, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
-        v = self.v_proj.forward_array(x).reshape(seq, cfg.n_kv_heads, cfg.head_dim).transpose(1, 0, 2)
+        # (batch, heads, seq, head_dim)
+        q = self.q_proj.forward_array(x).reshape(batch, seq, cfg.n_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+        k = self.k_proj.forward_array(x).reshape(batch, seq, cfg.n_kv_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+        v = self.v_proj.forward_array(x).reshape(batch, seq, cfg.n_kv_heads, cfg.head_dim).transpose(0, 2, 1, 3)
 
         q = self.rope.rotate(q, position_offset=offset)
         k = self.rope.rotate(k, position_offset=offset)
@@ -180,28 +221,35 @@ class GroupedQueryAttention(Module):
             k_all, v_all = kv_cache.append(k, v)
         else:
             k_all, v_all = k, v
-        total = k_all.shape[1]
+        total = k_all.shape[2]
 
-        if cfg.group_size > 1:
-            k_all = np.repeat(k_all, cfg.group_size, axis=0)
-            v_all = np.repeat(v_all, cfg.group_size, axis=0)
+        # Grouped-query attention without materialising repeated KV heads:
+        # fold the query heads into (kv_head, group) and let matmul broadcast
+        # the singleton group axis of K/V — a zero-copy view, no np.repeat.
+        g = cfg.group_size
+        q = q.reshape(batch, cfg.n_kv_heads, g, seq, cfg.head_dim)
+        k_all = k_all[:, :, None]  # (batch, kv_heads, 1, total, head_dim)
+        v_all = v_all[:, :, None]
 
         scale = 1.0 / np.sqrt(cfg.head_dim)
-        scores = np.einsum("hqd,hkd->hqk", q, k_all) * scale
-        query_pos = offset + np.arange(seq)[:, None]
-        key_pos = np.arange(total)[None, :]
-        scores = np.where(key_pos <= query_pos, scores, -1e9)
+        scores = q @ k_all.swapaxes(-1, -2)  # (batch, kv, g, seq, total)
+        scores *= scale
+        if seq > 1:  # a single new token attends to the whole prefix: no mask needed
+            scores += _causal_bias_rect(seq, total)
         weights = F.softmax_array(scores, axis=-1)
-        context = np.einsum("hqk,hkd->hqd", weights, v_all)
-        context = context.transpose(1, 0, 2).reshape(seq, cfg.d_model)
-        return self.o_proj.forward_array(context)
+        context = weights @ v_all  # (batch, kv, g, seq, head_dim)
+        context = context.reshape(batch, cfg.n_heads, seq, cfg.head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.d_model)
+        out = self.o_proj.forward_array(context)
+        return out[0] if squeeze else out
 
-    def new_cache(self, max_seq_len: Optional[int] = None) -> KVCache:
+    def new_cache(self, max_seq_len: Optional[int] = None, batch_size: int = 1) -> KVCache:
         """Create an empty KV cache sized for this attention block."""
         return KVCache(
             self.config.n_kv_heads,
             self.config.head_dim,
             max_seq_len or self.config.max_seq_len,
+            batch_size=batch_size,
         )
 
 
@@ -224,7 +272,44 @@ def _apply_rope_tensor(x: Tensor, rope: RotaryEmbedding) -> Tensor:
 
 
 def _repeat_kv(x: Tensor, repeats: int) -> Tensor:
-    """Repeat KV heads along the head axis for grouped-query attention."""
+    """Repeat KV heads along the head axis for grouped-query attention.
+
+    A single reshape + broadcast-multiply expansion; gradients sum back over
+    the repeated axis automatically (no per-head slicing / concatenation).
+    """
     # x: (batch, kv_heads, seq, head_dim) -> (batch, kv_heads*repeats, seq, head_dim)
-    parts = [x[:, i : i + 1] for i in range(x.shape[1]) for _ in range(repeats)]
-    return Tensor.concatenate(parts, axis=1)
+    batch, kv_heads, seq, head_dim = x.shape
+    expanded = x.reshape(batch, kv_heads, 1, seq, head_dim) * np.ones((1, 1, repeats, 1, 1))
+    return expanded.reshape(batch, kv_heads * repeats, seq, head_dim)
+
+
+# ---------------------------------------------------------------------------
+# Cached causal masks.  One grow-only square upper-triangular bias serves
+# every requested shape as a view: memory is bounded by the largest sequence
+# length seen, not by the number of distinct (seq, total) shapes.
+# ---------------------------------------------------------------------------
+
+_CAUSAL_SQUARE = np.zeros((0, 0))
+
+
+def _causal_square(n: int) -> np.ndarray:
+    global _CAUSAL_SQUARE
+    if _CAUSAL_SQUARE.shape[0] < n:
+        _CAUSAL_SQUARE = np.triu(np.full((n, n), -1e9), k=1)
+    return _CAUSAL_SQUARE
+
+
+def _causal_bias(seq: int) -> np.ndarray:
+    """Additive causal mask ``(seq, seq)`` (training path); a cached view."""
+    return _causal_square(seq)[:seq, :seq]
+
+
+def _causal_bias_rect(seq: int, total: int) -> np.ndarray:
+    """Additive causal mask ``(seq, total)`` for the cached-prefix layout.
+
+    Queries occupy positions ``total - seq .. total - 1``; key positions a
+    query may not attend to get ``-1e9``.  Row ``i`` of the slice is square
+    row ``total - seq + i``, which forbids exactly the keys past position
+    ``total - seq + i``.
+    """
+    return _causal_square(total)[total - seq : total, :total]

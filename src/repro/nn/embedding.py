@@ -29,7 +29,11 @@ class Embedding(Module):
         return embedding_lookup(self.weight, token_ids)
 
     def forward_array(self, token_ids: np.ndarray) -> np.ndarray:
-        """Inference-only lookup returning a plain array."""
+        """Inference-only lookup returning a plain array.
+
+        ``token_ids`` may be ``(seq,)`` or ``(batch, seq)`` (any leading
+        dims); the output appends the embedding dimension.
+        """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         return self.weight.data[token_ids]
 

@@ -45,10 +45,20 @@ class Linear(Module):
         return out
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
-        """Inference-only fast path on plain arrays (no autodiff graph)."""
-        out = x @ self.weight.data.T
+        """Inference-only fast path on plain arrays (no autodiff graph).
+
+        Leading batch dimensions are flattened so the whole call is one GEMM
+        (``x @ W.T`` on a 3-D operand would loop one small GEMM per batch
+        element instead).
+        """
+        if x.ndim > 2:
+            lead = x.shape[:-1]
+            out = x.reshape(-1, x.shape[-1]) @ self.weight.data.T
+            out = out.reshape(*lead, self.out_features)
+        else:
+            out = x @ self.weight.data.T
         if self.bias is not None:
-            out = out + self.bias.data
+            out += self.bias.data
         return out
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -93,7 +93,8 @@ class SwiGLUMLP(Module):
         """Return GLU(x) = (W_u x) * sigma(W_g x) on plain arrays."""
         up = self.up.forward_array(x)
         gate = self.activation.forward_array(self.gate.forward_array(x))
-        return up * gate
+        np.multiply(up, gate, out=up)  # both operands are fresh arrays
+        return up
 
     def gate_activations_array(self, x: np.ndarray) -> np.ndarray:
         """Return sigma(W_g x) only (the partial activations used by Gate pruning)."""
@@ -104,7 +105,7 @@ class SwiGLUMLP(Module):
         return self.up.forward_array(x)
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
-        """Dense inference on plain arrays."""
+        """Dense inference on plain arrays (any leading batch dims)."""
         return self.down.forward_array(self.glu_activations_array(x))
 
     def forward_masked_array(

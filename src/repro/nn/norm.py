@@ -25,9 +25,11 @@ class RMSNorm(Module):
         return x * inv * self.weight
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
-        """Inference-only path on plain arrays."""
-        mean_sq = np.mean(x * x, axis=-1, keepdims=True)
-        return x / np.sqrt(mean_sq + self.eps) * self.weight.data
+        """Inference-only path on plain arrays (any leading batch dims)."""
+        mean_sq = np.einsum("...i,...i->...", x, x)[..., None] / x.shape[-1]
+        out = x / np.sqrt(mean_sq + self.eps)
+        out *= self.weight.data
+        return out
 
 
 class LayerNorm(Module):

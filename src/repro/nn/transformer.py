@@ -76,6 +76,14 @@ class TransformerConfig(ConfigBase):
         return self.mlp_parameters() / self.total_parameters()
 
 
+def _sample_token(logits: np.ndarray, temperature: float, rng) -> int:
+    """Sample (or argmax, for ``temperature <= 0``) one token id from logits."""
+    if temperature <= 0:
+        return int(np.argmax(logits))
+    probs = F.softmax_array(logits / temperature)
+    return int(rng.choice(len(probs), p=probs))
+
+
 class TransformerBlock(Module):
     """Pre-norm transformer block: attention + gated MLP with residuals."""
 
@@ -166,11 +174,19 @@ class CausalLM(Module):
         kv_caches: Optional[List[KVCache]] = None,
         mlp_override=None,
         return_hidden: bool = False,
+        last_only: bool = False,
     ) -> np.ndarray:
-        """Inference logits for a single sequence ``(seq,)`` of token ids."""
+        """Inference logits for ``(seq,)`` or ``(batch, seq)`` token ids.
+
+        The output matches the input rank: ``(seq, vocab)`` or
+        ``(batch, seq, vocab)``.  ``last_only=True`` projects logits for the
+        final position only (shape ``(..., 1, vocab)``) — the prefill fast
+        path of :meth:`generate`, which skips the full-vocabulary projection
+        for every non-final prompt position.
+        """
         token_ids = np.asarray(token_ids, dtype=np.int64)
-        if token_ids.ndim != 1:
-            raise ValueError("forward_array expects a 1-D token sequence")
+        if token_ids.ndim not in (1, 2):
+            raise ValueError("forward_array expects (seq,) or (batch, seq) token ids")
         x = self.embedding.forward_array(token_ids)
         hidden_states = []
         for i, block in enumerate(self.blocks):
@@ -179,17 +195,23 @@ class CausalLM(Module):
             if return_hidden:
                 hidden_states.append(x.copy())
         x = self.final_norm.forward_array(x)
+        if last_only:
+            x = x[..., -1:, :]
         if self.lm_head is not None:
             logits = self.lm_head.forward_array(x)
         else:
-            logits = x @ self.embedding.weight.data.T
+            weight = self.embedding.weight.data
+            if x.ndim > 2:  # one GEMM instead of a per-batch-element loop
+                logits = (x.reshape(-1, x.shape[-1]) @ weight.T).reshape(*x.shape[:-1], weight.shape[0])
+            else:
+                logits = x @ weight.T
         if return_hidden:
             return logits, hidden_states
         return logits
 
-    def new_kv_caches(self, max_seq_len: Optional[int] = None) -> List[KVCache]:
-        """Create one empty KV cache per layer."""
-        return [block.attention.new_cache(max_seq_len) for block in self.blocks]
+    def new_kv_caches(self, max_seq_len: Optional[int] = None, batch_size: int = 1) -> List[KVCache]:
+        """Create one empty (optionally batched) KV cache per layer."""
+        return [block.attention.new_cache(max_seq_len, batch_size=batch_size) for block in self.blocks]
 
     def generate(
         self,
@@ -205,20 +227,62 @@ class CausalLM(Module):
         max_len = len(prompt) + max_new_tokens
         caches = self.new_kv_caches(max_seq_len=max_len)
         with no_grad():
-            logits = self.forward_array(prompt, kv_caches=caches, mlp_override=mlp_override)
+            logits = self.forward_array(
+                prompt, kv_caches=caches, mlp_override=mlp_override, last_only=True
+            )
             generated = list(prompt)
-            for _ in range(max_new_tokens):
-                last = logits[-1]
-                if temperature <= 0:
-                    next_id = int(np.argmax(last))
-                else:
-                    probs = F.softmax_array(last / temperature)
-                    next_id = int(rng.choice(len(probs), p=probs))
+            for step in range(max_new_tokens):
+                next_id = _sample_token(logits[-1], temperature, rng)
                 generated.append(next_id)
-                logits = self.forward_array(
-                    np.asarray([next_id], dtype=np.int64), kv_caches=caches, mlp_override=mlp_override
-                )
+                if step + 1 < max_new_tokens:
+                    logits = self.forward_array(
+                        np.asarray([next_id], dtype=np.int64), kv_caches=caches, mlp_override=mlp_override
+                    )
         return np.asarray(generated, dtype=np.int64)
+
+    def generate_batch(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 1.0,
+        rng=None,
+        mlp_override=None,
+    ) -> np.ndarray:
+        """Autoregressive sampling for a batch of equal-length prompts.
+
+        ``prompts`` has shape ``(batch, prompt_len)``; the batch shares one
+        set of batched KV caches, so each decode step is a single forward.
+        Greedy decoding (``temperature <= 0``) matches :meth:`generate` on
+        every prompt; sampled decoding draws per-prompt in batch order each
+        step, so it consumes the RNG in a different order than a sequential
+        loop would.
+        """
+        rng = new_rng(rng)
+        prompts = np.asarray(prompts, dtype=np.int64)
+        if prompts.ndim == 1:
+            prompts = prompts[None]
+        batch, prompt_len = prompts.shape
+        caches = self.new_kv_caches(max_seq_len=prompt_len + max_new_tokens, batch_size=batch)
+        generated = np.empty((batch, prompt_len + max_new_tokens), dtype=np.int64)
+        generated[:, :prompt_len] = prompts
+        with no_grad():
+            logits = self.forward_array(
+                prompts, kv_caches=caches, mlp_override=mlp_override, last_only=True
+            )
+            for step in range(max_new_tokens):
+                last = logits[:, -1, :]
+                if temperature <= 0:
+                    next_ids = np.argmax(last, axis=-1)
+                else:
+                    next_ids = np.asarray([_sample_token(row, temperature, rng) for row in last])
+                generated[:, prompt_len + step] = next_ids
+                if step + 1 < max_new_tokens:
+                    logits = self.forward_array(
+                        generated[:, prompt_len + step : prompt_len + step + 1],
+                        kv_caches=caches,
+                        mlp_override=mlp_override,
+                    )
+        return generated
 
     # ------------------------------------------------------------- structure
     @property

@@ -31,6 +31,7 @@ from repro.pipeline.spec import (
 from repro.pipeline.session import SparseSession
 from repro.pipeline.runner import (
     ExperimentResult,
+    ResultCache,
     density_sweep,
     method_grid,
     run_experiment,
@@ -47,6 +48,7 @@ __all__ = [
     "CACHE_POLICIES",
     "SparseSession",
     "ExperimentResult",
+    "ResultCache",
     "method_grid",
     "density_sweep",
     "run_experiment",

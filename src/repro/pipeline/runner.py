@@ -5,6 +5,12 @@ These subsume the legacy ``repro.eval.harness.run_method_grid`` /
 spec-driven entry point :func:`run_experiment`, which evaluates a declarative
 :class:`~repro.pipeline.spec.ExperimentSpec` end to end and can persist its
 rows as artifacts.
+
+Results are cacheable: :class:`ResultCache` stores finished
+:class:`ExperimentResult` payloads as JSON keyed by
+``ExperimentSpec.content_hash()``, so repeated grid cells are served from disk
+instead of re-evaluated (the model-weights analogue is
+:class:`~repro.experiments.artifacts.ArtifactCache`).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 from repro.engine.throughput import ThroughputEstimate
 from repro.eval.harness import MethodEvaluation
 from repro.eval.reporting import format_table
+from repro.experiments.artifacts import default_artifact_dir
 from repro.sparsity.base import SparsityMethod
 from repro.sparsity.registry import REGISTRY
 from repro.utils.logging import get_logger
@@ -111,6 +118,76 @@ class ExperimentResult:
         logger.info("saved experiment artifacts to %s", json_path)
         return json_path
 
+    # ------------------------------------------------------------ round trip
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless-enough JSON payload for the result cache.
+
+        ``ThroughputEstimate.simulation`` (the raw per-token trace) is
+        dropped; everything the tables and figures consume survives.
+        """
+        return {
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "evaluations": [dataclasses.asdict(e) for e in self.evaluations],
+            "throughputs": [
+                dataclasses.asdict(dataclasses.replace(t, simulation=None))
+                for t in self.throughputs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        spec = ExperimentSpec.from_dict(data["spec"]) if data.get("spec") is not None else None
+        evaluations = [MethodEvaluation(**e) for e in data.get("evaluations", ())]
+        throughputs = [ThroughputEstimate(**t) for t in data.get("throughputs", ())]
+        return cls(spec=spec, evaluations=evaluations, throughputs=throughputs)
+
+
+class ResultCache:
+    """JSON store of finished experiment results keyed by spec content hash.
+
+    Lives next to the model-weight artifacts (``$REPRO_ARTIFACT_DIR`` or
+    ``<cwd>/.artifacts``) unless given another root.  Keys are
+    ``result-<spec.content_hash()><suffix>``; the suffix encodes run options
+    that change the output (e.g. ``include_dense``).
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_artifact_dir()
+
+    @staticmethod
+    def key_for(spec: ExperimentSpec, include_dense: bool = False) -> str:
+        suffix = "-dense" if include_dense else ""
+        return f"result-{spec.content_hash()}{suffix}"
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def load(self, key: str) -> ExperimentResult:
+        path = self._path(key)
+        if not path.exists():
+            raise FileNotFoundError(f"no cached result '{key}' under {self.root}")
+        return ExperimentResult.from_dict(json.loads(path.read_text()))
+
+    def save(self, key: str, result: ExperimentResult) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        logger.info("cached experiment result %s", path)
+        return path
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+
+    def keys(self) -> List[str]:
+        if not self.root.exists():
+            return []
+        return sorted(p.stem for p in self.root.glob("result-*.json"))
+
 
 def run_experiment(
     spec: ExperimentSpec,
@@ -119,6 +196,7 @@ def run_experiment(
     cache=None,
     include_dense: bool = False,
     artifacts_dir: Optional[Union[str, Path]] = None,
+    result_cache: Union[None, bool, str, Path, ResultCache] = None,
 ) -> ExperimentResult:
     """Run a declarative experiment spec end to end.
 
@@ -126,7 +204,27 @@ def run_experiment(
     grid with its method, optionally adds the dense baseline row, estimates
     throughput when the spec has a hardware section, and saves artifacts when
     ``artifacts_dir`` is given.
+
+    ``result_cache`` enables session-level result caching keyed by
+    ``spec.content_hash()``: pass ``True`` (default artifact directory), a
+    directory path, or a :class:`ResultCache`.  A hit skips evaluation
+    entirely; a miss evaluates and stores the result for the next run.
     """
+    if result_cache is not None and result_cache is not False:
+        if result_cache is True:
+            result_cache = ResultCache()
+        elif not isinstance(result_cache, ResultCache):
+            result_cache = ResultCache(result_cache)
+        key = ResultCache.key_for(spec, include_dense=include_dense)
+        if result_cache.has(key):
+            logger.info("result cache hit for spec '%s' (%s)", spec.name, key)
+            cached = result_cache.load(key)
+            if artifacts_dir is not None:
+                cached.save(artifacts_dir)
+            return cached
+    else:
+        result_cache = None
+
     if session is None:
         session = SparseSession.from_spec(spec, cache=cache)
 
@@ -158,6 +256,8 @@ def run_experiment(
         _run(spec.build_method(target_density=density))
 
     result = ExperimentResult(spec=spec, evaluations=evaluations, throughputs=throughputs)
+    if result_cache is not None:
+        result_cache.save(ResultCache.key_for(spec, include_dense=include_dense), result)
     if artifacts_dir is not None:
         result.save(artifacts_dir)
     return result

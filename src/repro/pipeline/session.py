@@ -202,13 +202,18 @@ class SparseSession:
 
     # ---------------------------------------------------------------- metrics
     def perplexity(
-        self, sequences: Optional[np.ndarray] = None, max_sequences: Optional[int] = None
+        self,
+        sequences: Optional[np.ndarray] = None,
+        max_sequences: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> float:
         """Token-level perplexity under the active method (state reset first).
 
         ``settings.max_eval_sequences`` caps the session's stored sequences;
         explicitly passed ``sequences`` are evaluated in full unless
-        ``max_sequences`` says otherwise.
+        ``max_sequences`` says otherwise.  Evaluation is batched: one forward
+        per length bucket, capped at ``batch_size`` sequences (default
+        ``settings.batch_size``).
         """
         self._require_model("perplexity")
         if max_sequences is None and sequences is None:
@@ -216,7 +221,9 @@ class SparseSession:
         sequences = self._eval_sequences(sequences)
         self.calibrate()
         self.reset()
-        return self.engine.perplexity(sequences, max_sequences=max_sequences)
+        if batch_size is None:
+            batch_size = self.settings.batch_size
+        return self.engine.perplexity(sequences, max_sequences=max_sequences, batch_size=batch_size)
 
     def accuracy(
         self, task: Optional[MultipleChoiceTask] = None, max_examples: Optional[int] = None
@@ -234,7 +241,13 @@ class SparseSession:
         if task is None:
             raise ValueError("no task given and the session has no primary task")
         self.calibrate()
-        return task_accuracy(self.model, task, method=self.method, max_examples=max_examples)
+        return task_accuracy(
+            self.model,
+            task,
+            method=self.method,
+            max_examples=max_examples,
+            batch_size=self.settings.batch_size,
+        )
 
     def suite_accuracy(self, max_examples: Optional[int] = None) -> Dict[str, float]:
         """Accuracy on every task of the session's suite."""
@@ -244,7 +257,13 @@ class SparseSession:
         if max_examples is None:
             max_examples = self.settings.max_task_examples
         self.calibrate()
-        return suite_accuracy(self.model, self.task_suite, method=self.method, max_examples=max_examples)
+        return suite_accuracy(
+            self.model,
+            self.task_suite,
+            method=self.method,
+            max_examples=max_examples,
+            batch_size=self.settings.batch_size,
+        )
 
     def throughput(
         self,
@@ -279,13 +298,39 @@ class SparseSession:
             kv_cache_seq_len=kv_cache_seq_len if kv_cache_seq_len is not None else hw.kv_cache_seq_len,
         )
 
-    def collect_masks(self, sequences: Optional[np.ndarray] = None) -> List[MLPMasks]:
+    def collect_masks(
+        self, sequences: Optional[np.ndarray] = None, batch_size: Optional[int] = None
+    ) -> List[MLPMasks]:
         """Run sequences purely to record per-layer masks (HW-simulator traces)."""
         self._require_model("collect_masks")
         sequences = self._eval_sequences(sequences)
         self.calibrate()
         self.reset()
-        return self.engine.collect_masks(sequences)
+        if batch_size is None:
+            batch_size = self.settings.batch_size
+        return self.engine.collect_masks(sequences, batch_size=batch_size)
+
+    def generate(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 1.0,
+        rng=None,
+    ) -> np.ndarray:
+        """Sample continuations under the active method.
+
+        A single ``(prompt_len,)`` prompt returns one sequence; a
+        ``(batch, prompt_len)`` array decodes the whole batch in lock-step
+        through shared batched KV caches.  Method state is reset first, like
+        every other metric, so output never depends on prior session usage.
+        """
+        self._require_model("generate")
+        self.calibrate()
+        self.reset()
+        prompts = np.asarray(prompts, dtype=np.int64)
+        if prompts.ndim == 1:
+            return self.engine.generate(prompts, max_new_tokens, temperature=temperature, rng=rng)
+        return self.engine.generate_batch(prompts, max_new_tokens, temperature=temperature, rng=rng)
 
     def evaluate(self, include_suite: bool = True) -> MethodEvaluation:
         """Full evaluation row: perplexity plus (when tasks exist) accuracies.

@@ -121,6 +121,8 @@ class EvalSection(ConfigBase):
     max_eval_sequences: int = 16
     max_task_examples: int = 32
     calibration_sequences: int = 8
+    #: Sequences per batched forward (``None`` = one forward per length bucket).
+    batch_size: Optional[int] = None
     #: Task scored as the headline accuracy (``None`` skips accuracy).
     primary_task: Optional[str] = "mmlu"
     #: Extra suite tasks to score individually (Table 5 mode).
@@ -130,6 +132,7 @@ class EvalSection(ConfigBase):
         _require(self.max_eval_sequences > 0, "eval.max_eval_sequences must be positive")
         _require(self.max_task_examples > 0, "eval.max_task_examples must be positive")
         _require(self.calibration_sequences > 0, "eval.calibration_sequences must be positive")
+        _require(self.batch_size is None or self.batch_size > 0, "eval.batch_size must be positive")
         object.__setattr__(self, "tasks", tuple(self.tasks))
         for task in (self.primary_task, *self.tasks):
             _require(
@@ -145,6 +148,7 @@ class EvalSection(ConfigBase):
             max_eval_sequences=self.max_eval_sequences,
             max_task_examples=self.max_task_examples,
             calibration_sequences=self.calibration_sequences,
+            batch_size=self.batch_size,
         )
 
 

@@ -65,6 +65,12 @@ class MLPMasks:
     * ``gate_axis`` / ``gate_mask`` — read pattern for W_g.
 
     W_d is always read by neuron columns, gated by ``down_mask``.
+
+    ``glu_cache`` optionally carries the GLU activations the method already
+    computed (from the *masked* input) while ranking neurons, so
+    :meth:`SparsityMethod.sparse_forward` need not recompute the two big
+    projections.  It is consumed once via :meth:`take_glu_cache` and never
+    recorded or concatenated.
     """
 
     down_mask: np.ndarray
@@ -73,6 +79,7 @@ class MLPMasks:
     up_mask: Optional[np.ndarray] = None
     gate_axis: str = "dense"
     gate_mask: Optional[np.ndarray] = None
+    glu_cache: Optional[np.ndarray] = None
 
     def __post_init__(self):
         self.down_mask = np.asarray(self.down_mask, dtype=bool)
@@ -91,6 +98,12 @@ class MLPMasks:
     @property
     def n_tokens(self) -> int:
         return self.down_mask.shape[0]
+
+    def take_glu_cache(self) -> Optional[np.ndarray]:
+        """Return and clear the cached GLU activations (single consumer)."""
+        cache = self.glu_cache
+        self.glu_cache = None
+        return cache
 
     def matrix_mask(self, matrix: str):
         """Return ``(axis, mask)`` for ``matrix`` in {"up", "gate", "down"}."""
@@ -182,9 +195,11 @@ class SparsityMethod:
         """
         if masks is None:
             masks = self.compute_masks(mlp, layer_index, x)
-        x_eff = x * masks.input_mask if masks.input_mask is not None else x
-        glu = mlp.glu_activations_array(x_eff)
-        glu = glu * masks.down_mask
+        glu = masks.take_glu_cache()
+        if glu is None:
+            x_eff = x * masks.input_mask if masks.input_mask is not None else x
+            glu = mlp.glu_activations_array(x_eff)
+        np.multiply(glu, masks.down_mask, out=glu)  # glu is fresh or consumed-once
         return mlp.down.forward_array(glu)
 
     # ----------------------------------------------------------- memory plan

@@ -184,6 +184,7 @@ class CacheAwareDIP(DynamicInputPruning):
 
         input_mask = np.zeros((n_tokens, d_model), dtype=bool)
         down_mask = np.zeros((n_tokens, d_ffn), dtype=bool)
+        glu_rows = np.empty((n_tokens, d_ffn))
         for t in range(n_tokens):
             token = x[t]
             scores_in = cache_aware_scores(np.abs(token), input_cache.cached_mask(), self.gamma)
@@ -201,6 +202,7 @@ class CacheAwareDIP(DynamicInputPruning):
 
             input_mask[t] = token_input_mask
             down_mask[t] = token_down_mask
+            glu_rows[t] = glu
 
         return MLPMasks(
             down_mask=down_mask,
@@ -209,6 +211,7 @@ class CacheAwareDIP(DynamicInputPruning):
             up_mask=input_mask,
             gate_axis="input",
             gate_mask=input_mask,
+            glu_cache=glu_rows,
         )
 
     def describe(self):

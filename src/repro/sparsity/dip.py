@@ -80,6 +80,7 @@ class DynamicInputPruning(SparsityMethod):
             up_mask=input_mask,
             gate_axis="input",
             gate_mask=input_mask,
+            glu_cache=glu,  # sparse_forward would recompute exactly this
         )
 
     def expected_density(self, d_model: int, d_ffn: int) -> float:

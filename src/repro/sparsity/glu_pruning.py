@@ -93,8 +93,9 @@ class GLUPruning(SparsityMethod):
                 up_mask=down_mask,
                 gate_axis="neuron",
                 gate_mask=down_mask,
+                glu_cache=glu,
             )
-        return MLPMasks(down_mask=down_mask, up_axis="dense", gate_axis="dense")
+        return MLPMasks(down_mask=down_mask, up_axis="dense", gate_axis="dense", glu_cache=glu)
 
     def expected_density(self, d_model: int, d_ffn: int) -> float:
         keep = self.keep_fraction

@@ -17,14 +17,18 @@ def logsumexp(x: np.ndarray, axis: int = -1, keepdims: bool = False) -> np.ndarr
     """
     x = np.asarray(x)
     m = x.max(axis=axis, keepdims=True)
-    out = m + np.log(np.exp(x - m).sum(axis=axis, keepdims=True))
+    shifted = x - m
+    np.exp(shifted, out=shifted)
+    out = m + np.log(shifted.sum(axis=axis, keepdims=True))
     return out if keepdims else np.squeeze(out, axis=axis)
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Log-probabilities ``x - logsumexp(x)`` along ``axis``."""
     x = np.asarray(x)
-    return x - logsumexp(x, axis=axis, keepdims=True)
+    shifted = x - x.max(axis=axis, keepdims=True)
+    shifted -= np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return shifted
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -65,9 +65,11 @@ class TestCausalLM:
             outputs.append(tiny_model.forward_array(ids[t : t + 1], kv_caches=caches))
         assert np.allclose(np.concatenate(outputs, axis=0), full, atol=1e-9)
 
-    def test_forward_array_rejects_batch(self, tiny_model):
+    def test_forward_array_accepts_batch_rejects_higher_rank(self, tiny_model):
+        logits = tiny_model.forward_array(np.zeros((2, 4), dtype=np.int64))
+        assert logits.shape == (2, 4, tiny_model.config.vocab_size)
         with pytest.raises(ValueError):
-            tiny_model.forward_array(np.zeros((2, 4), dtype=np.int64))
+            tiny_model.forward_array(np.zeros((1, 2, 4), dtype=np.int64))
 
     def test_generate_greedy_deterministic(self, tiny_model):
         a = tiny_model.generate([1, 2, 3], max_new_tokens=5, temperature=0.0)
