@@ -3,24 +3,44 @@
 The paper shows that a single global threshold starves some layers entirely
 (terrible perplexity), while per-layer and per-token (top-k) thresholds hit
 the target density in every layer and give nearly identical perplexity.
+
+The protocol runs through the pipeline API: one :class:`ExperimentSpec`
+describes the model and evaluation workload, a
+:class:`~repro.pipeline.session.SparseSession` is bound to each thresholding
+variant via ``with_method`` (the strategies are constructor-injected
+``GLUPruning`` instances, so they ride the session rather than the registry).
 """
 
 import numpy as np
 
 from benchmarks.conftest import run_once, write_result
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession
 from repro.sparsity.glu_pruning import GLUPruning
 from repro.sparsity.thresholding import build_threshold_strategy, collect_glu_activations
 
 TARGET_DENSITY = 0.5
 
 
+def _spec(bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig04-thresholding",
+        model=ModelSection(name="mistral-7b"),
+        method=MethodSection(name="glu", target_density=TARGET_DENSITY),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=None,
+    )
+
+
 def run_fig04(prepared, bench_settings):
-    model = prepared.model
+    session = SparseSession.from_spec(_spec(bench_settings), prepared=prepared)
     calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-    activations = collect_glu_activations(model, calib)
+    activations = collect_glu_activations(prepared.model, calib)
 
     rows = []
     for name in ("global", "per-layer", "per-token-topk"):
@@ -28,11 +48,13 @@ def run_fig04(prepared, bench_settings):
         strategy.calibrate(activations)
         layer_densities = strategy.layer_densities(activations)
         method = GLUPruning(target_density=1.0, keep_fraction=TARGET_DENSITY, threshold_strategy=strategy)
-        ppl = perplexity(model, eval_seqs, method)
+        # The strategy is already calibrated on exactly the session's
+        # calibration set; skip the session's (identical) re-calibration sweep.
+        method.requires_calibration = False
         rows.append(
             {
                 "strategy": name,
-                "perplexity": ppl,
+                "perplexity": session.with_method(method).perplexity(),
                 "mean_density": float(np.mean(layer_densities)),
                 "min_layer_density": float(np.min(layer_densities)),
                 "max_layer_density": float(np.max(layer_densities)),

@@ -1,10 +1,18 @@
-"""Perf-tracking benchmark: batched vs sequential sparse inference.
+"""Perf-tracking benchmarks: batched inference and continuous-batching serving.
 
-Times dense and sparse perplexity on a tiny model-zoo model two ways — the
-batched engine path (one forward per length bucket) and the legacy
-sequence-by-sequence loop — asserts they agree numerically, and writes the
-speedups to ``BENCH_batched_inference.json`` at the repo root so the numbers
-are tracked across PRs.
+Two workloads on the tiny model-zoo model, each asserting numerical parity
+before timing and writing a JSON record at the repo root so the numbers are
+tracked across PRs:
+
+* **Batched inference** (``BENCH_batched_inference.json``) — dense and sparse
+  perplexity via the batched engine path (one forward per length bucket) vs
+  the legacy sequence-by-sequence loop.
+* **Serving** (``BENCH_serving.json``) — greedy decode of a queue of
+  concurrent ragged generation requests three ways: one-at-a-time
+  ``generate`` (sequential serving), lock-step ragged ``generate_batch``
+  (everyone decodes until the longest request finishes), and the
+  continuous-batching ``ContinuousBatch`` core (finished sequences retire and
+  queued prompts are admitted into the freed KV-cache slots).
 
 Runs standalone (no pytest, no trained checkpoints: timing does not need
 trained weights)::
@@ -12,7 +20,8 @@ trained weights)::
     PYTHONPATH=src python benchmarks/bench_perf_regression.py [--check] [--fast]
 
 ``--check`` exits non-zero if any batched run is slower than its sequential
-loop (the CI smoke gate); ``--fast`` shrinks the workload for CI runners.
+loop or if continuous batching is below 1.5x sequential serving throughput
+(the CI smoke gates); ``--fast`` shrinks the workloads for CI runners.
 """
 
 from __future__ import annotations
@@ -26,13 +35,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.engine.inference import SparseInferenceEngine
+from repro.engine.inference import ContinuousBatch, SparseInferenceEngine, serve_continuous_greedy
 from repro.nn.model_zoo import build_model, get_model_spec
 from repro.sparsity.base import DenseBaseline
 from repro.sparsity.dip import DynamicInputPruning
 from repro.utils.numerics import log_softmax
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched_inference.json"
+_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = _ROOT / "BENCH_batched_inference.json"
+SERVING_RESULT_PATH = _ROOT / "BENCH_serving.json"
+
+#: Continuous batching must beat sequential serving by at least this factor
+#: at 16 concurrent requests (the CI gate).
+SERVING_SPEEDUP_GATE = 1.5
 
 MODEL_NAME = "tiny"  # smallest zoo entry: d_model=32, 2 layers
 
@@ -103,13 +118,85 @@ def run(batch: int = 16, seq_len: int = 8, repeats: int = 15, fast: bool = False
     }
 
 
+def run_serving(
+    n_requests: int = 16, max_batch_size: int = 8, repeats: int = 5, fast: bool = False
+) -> dict:
+    """Time three serving strategies over one queue of ragged requests.
+
+    Requests have ragged prompt lengths *and* ragged decode budgets — the
+    regime where continuous batching wins: lock-step decoding keeps every
+    slot busy until the longest budget finishes, while the continuous batch
+    retires each sequence on time and admits the queue into freed slots.
+    """
+    if fast:
+        repeats = 2
+    spec = get_model_spec(MODEL_NAME)
+    model = build_model(MODEL_NAME, seed=0)
+    model.eval()
+    rng = np.random.default_rng(1)
+    prompts = [
+        rng.integers(0, spec.sim_config.vocab_size, size=int(n)) for n in rng.integers(4, 13, size=n_requests)
+    ]
+    budgets = [int(b) for b in rng.integers(6, 17, size=n_requests)]
+    useful_tokens = sum(budgets)
+    engine = SparseInferenceEngine(model, DynamicInputPruning(0.5))
+
+    def sequential() -> list:
+        return [engine.generate(p, b, temperature=0.0) for p, b in zip(prompts, budgets)]
+
+    def lockstep() -> np.ndarray:
+        # Lock-step has one shared budget: everyone decodes max(budgets).
+        return engine.generate_batch(prompts, max(budgets), temperature=0.0)
+
+    def continuous() -> list:
+        batch = ContinuousBatch.from_engine(
+            engine, max_batch_size=max_batch_size, max_seq_len=max(map(len, prompts)) + max(budgets)
+        )
+        return serve_continuous_greedy(batch, prompts, budgets)
+
+    # Parity first: continuous batching must reproduce sequential serving.
+    reference = sequential()
+    served = continuous()
+    for i, (expected, got) in enumerate(zip(reference, served)):
+        if not np.array_equal(expected, got):
+            raise AssertionError(f"continuous batching diverged from sequential generate on request {i}")
+
+    strategies = {"sequential": sequential, "lockstep": lockstep, "continuous": continuous}
+    results = {}
+    for name, fn in strategies.items():
+        seconds = _time(fn, repeats)
+        results[name] = {"seconds": seconds, "tokens_per_second": useful_tokens / seconds}
+    for name in ("lockstep", "continuous"):
+        results[name]["speedup_vs_sequential"] = (
+            results["sequential"]["seconds"] / results[name]["seconds"]
+        )
+    results["continuous"]["speedup_vs_lockstep"] = (
+        results["lockstep"]["seconds"] / results["continuous"]["seconds"]
+    )
+    return {
+        "model": MODEL_NAME,
+        "n_requests": int(n_requests),
+        "max_batch_size": int(max_batch_size),
+        "useful_tokens": int(useful_tokens),
+        "prompt_lengths": [int(len(p)) for p in prompts],
+        "max_new_tokens": budgets,
+        "repeats": int(repeats),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "strategies": results,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true",
-                        help="exit non-zero if any batched run is slower than the sequential loop")
+                        help="exit non-zero if a perf gate fails (batched < sequential, or "
+                             f"continuous batching < {SERVING_SPEEDUP_GATE}x sequential serving)")
     parser.add_argument("--fast", action="store_true", help="smaller workload for CI smoke runs")
     parser.add_argument("--output", type=Path, default=RESULT_PATH,
-                        help=f"where to write the JSON record (default: {RESULT_PATH})")
+                        help=f"where to write the batched-inference record (default: {RESULT_PATH})")
+    parser.add_argument("--serving-output", type=Path, default=SERVING_RESULT_PATH,
+                        help=f"where to write the serving record (default: {SERVING_RESULT_PATH})")
     args = parser.parse_args(argv)
 
     payload = run(fast=args.fast)
@@ -125,8 +212,25 @@ def main(argv=None) -> int:
         if row["speedup"] < 1.0:
             ok = False
     print(f"written to {args.output}")
+
+    serving = run_serving(fast=args.fast)
+    args.serving_output.write_text(json.dumps(serving, indent=2, sort_keys=True) + "\n")
+    print(f"\nserving strategies — {serving['model']} ({serving['n_requests']} concurrent ragged "
+          f"requests, {serving['useful_tokens']} tokens, max_batch_size={serving['max_batch_size']})")
+    for name, row in serving["strategies"].items():
+        extra = ""
+        if "speedup_vs_sequential" in row:
+            extra = f"   speedup vs sequential {row['speedup_vs_sequential']:.2f}x"
+        print(f"  {name:<10}  {row['seconds']*1e3:8.1f} ms   {row['tokens_per_second']:8.1f} tok/s{extra}")
+    print(f"written to {args.serving_output}")
+    continuous_speedup = serving["strategies"]["continuous"]["speedup_vs_sequential"]
+    if continuous_speedup < SERVING_SPEEDUP_GATE:
+        ok = False
+        print(f"continuous batching speedup {continuous_speedup:.2f}x is below the "
+              f"{SERVING_SPEEDUP_GATE}x gate", file=sys.stderr)
+
     if args.check and not ok:
-        print("FAIL: batched evaluation slower than the sequential loop", file=sys.stderr)
+        print("FAIL: perf gate violated", file=sys.stderr)
         return 1
     return 0
 

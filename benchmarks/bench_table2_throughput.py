@@ -24,7 +24,11 @@ from repro.utils.units import GB
 
 METHODS = ["glu", "up", "cats", "dip", "dip-ca"]
 METHOD_KWARGS = {"dip-ca": {"gamma": 0.2}}
-DENSITIES = [0.35, 0.5, 0.7] if not FAST else [0.4, 0.7]
+# FAST keeps the 0.5 operating point: the coarse [0.4, 0.7] grid used to push
+# DIP-CA's re-ranked masks over the +0.5 ppl budget at the low end, forcing it
+# to the slow 0.7 point and failing the DIP-CA-vs-DIP assertion (the full grid
+# never hit this because 0.5 was always available).
+DENSITIES = [0.35, 0.5, 0.7] if not FAST else [0.5, 0.7]
 PPL_BUDGETS = (0.2, 0.5)
 
 

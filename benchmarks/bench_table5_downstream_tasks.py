@@ -4,29 +4,87 @@ The paper evaluates ARC (easy/challenge), BoolQ, HellaSwag, PIQA, Winogrande,
 MGSM and MMLU-Pro; here each is represented by a synthetic multiple-choice
 family with a matching difficulty profile.  The reproduction target is the
 relative ranking per task family: dense ≈ oracle ≥ DIP ≥ SparseGPT/DejaVu/CATS.
+
+The protocol runs through the pipeline API: a per-model
+:class:`ExperimentSpec` with ``eval.tasks`` (Table 5 mode) yields a
+:class:`~repro.pipeline.session.SparseSession`; dynamic methods are evaluated
+via ``with_method`` and the static SparseGPT variant wraps the pruned model
+copy in its own session sharing the same assets.
 """
 
-from benchmarks.common import accuracy_table
+from typing import Dict, Tuple
+
+from benchmarks.common import DEJAVU_KWARGS, DYNAMIC_METHODS, _sparsegpt_variant
 from benchmarks.conftest import FAST, run_once, write_result
+from repro.compression.sparsegpt import SparseGPTConfig
 from repro.eval.reporting import format_table
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession
+from repro.sparsity.registry import create_method
 
 TASKS = ["arc-easy", "arc-challenge", "boolq", "hellaswag", "piqa", "winogrande", "mgsm", "mmlu-pro"]
+DENSITY = 0.5
+
+
+def _spec(model_name: str, bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"table5-{model_name}",
+        model=ModelSection(name=model_name),
+        method=MethodSection(name="dip", target_density=DENSITY),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+            tasks=tuple(TASKS),
+        ),
+        hardware=None,
+    )
+
+
+def _evaluate(bound: SparseSession) -> Tuple[float, Dict[str, float]]:
+    return bound.perplexity(), bound.suite_accuracy()
+
+
+def run_table5(prepared_models, bench_settings):
+    rows: Dict[str, Dict[str, object]] = {}
+
+    def record(method_label: str, model_name: str, ppl: float, accuracies: Dict[str, float]) -> None:
+        row = rows.setdefault(method_label, {"method": method_label})
+        row[f"{model_name}:ppl"] = ppl
+        for task, value in accuracies.items():
+            row[f"{model_name}:{task}"] = value
+
+    for model_name, prepared in prepared_models.items():
+        spec = _spec(model_name, bench_settings)
+        session = SparseSession.from_spec(spec, prepared=prepared)
+
+        record("dense", model_name, *_evaluate(session.with_method(None)))
+
+        pruned = _sparsegpt_variant(
+            prepared, SparseGPTConfig(sparsity=1 - DENSITY, block_size=16), spec.eval.settings()
+        )
+        static_session = SparseSession(
+            pruned,
+            None,
+            settings=spec.eval.settings(),
+            model_name=model_name,
+            eval_sequences=prepared.eval_sequences,
+            calibration_sequences=prepared.calibration_sequences,
+            task_suite={name: prepared.task_suite[name] for name in TASKS},
+        )
+        record("sparsegpt-unstructured", model_name, *_evaluate(static_session))
+
+        for name in DYNAMIC_METHODS:
+            kwargs = DEJAVU_KWARGS if name == "dejavu" else {}
+            method = create_method(name, target_density=DENSITY, **kwargs)
+            record(name, model_name, *_evaluate(session.with_method(method)))
+
+    return list(rows.values())
 
 
 def test_table5_downstream_tasks(benchmark, prepared_models, bench_settings, capsys):
     models = prepared_models if not FAST else {"phi3-medium": prepared_models["phi3-medium"]}
-    rows = run_once(
-        benchmark,
-        lambda: accuracy_table(
-            models,
-            density=0.5,
-            settings=bench_settings,
-            include_static=True,
-            static_variants=("unstructured",),
-            include_lora=False,
-            task_names=TASKS,
-        ),
-    )
+    rows = run_once(benchmark, lambda: run_table5(models, bench_settings))
     text = format_table(rows, precision=1, title="Table 5 — task-suite accuracy at 50% MLP sparsity")
     write_result("table5_downstream_tasks", text)
     with capsys.disabled():

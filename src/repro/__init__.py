@@ -14,11 +14,13 @@ The package is organised by subsystem:
 * :mod:`repro.experiments` — cached trained models and experiment assets
 * :mod:`repro.pipeline` — declarative experiment specs, sessions and runners
   (the recommended front door: ``ExperimentSpec`` → ``SparseSession`` → runner)
+* :mod:`repro.serving` — async continuous-batching serving: request types,
+  scheduler, calibration-sharing session pool, and a streaming HTTP server
 """
 
 __version__ = "0.1.0"
 
-from repro import autograd, compression, data, engine, eval, hwsim, nn, pipeline, sparsity, training, utils
+from repro import autograd, compression, data, engine, eval, hwsim, nn, pipeline, serving, sparsity, training, utils
 
 __all__ = [
     "autograd",
@@ -29,6 +31,7 @@ __all__ = [
     "hwsim",
     "nn",
     "pipeline",
+    "serving",
     "sparsity",
     "training",
     "utils",

@@ -8,7 +8,13 @@
   coupled accuracy-vs-throughput sweeps used by Table 2 and Figure 11.
 """
 
-from repro.engine.inference import SparseInferenceEngine, MaskRecorder, iter_length_buckets
+from repro.engine.inference import (
+    ContinuousBatch,
+    MaskRecorder,
+    SparseInferenceEngine,
+    iter_length_buckets,
+    serve_continuous_greedy,
+)
 from repro.engine.throughput import (
     ThroughputEstimate,
     estimate_throughput,
@@ -18,6 +24,8 @@ from repro.engine.throughput import (
 
 __all__ = [
     "SparseInferenceEngine",
+    "ContinuousBatch",
+    "serve_continuous_greedy",
     "MaskRecorder",
     "iter_length_buckets",
     "ThroughputEstimate",

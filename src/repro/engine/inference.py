@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.nn.transformer import CausalLM, TransformerBlock
+from repro.nn.transformer import CausalLM, TransformerBlock, left_pad_ragged, MASKED_BIAS
 from repro.sparsity.base import MLPMasks, SparsityMethod, masks_mlp_density
 from repro.utils.numerics import logsumexp
 
@@ -34,6 +34,22 @@ def _as_sequence_list(sequences) -> List[np.ndarray]:
             return list(sequences.astype(np.int64, copy=False))
         raise ValueError("sequences must be 1-D, 2-D, or a list of 1-D arrays")
     return [np.asarray(s, dtype=np.int64) for s in sequences]
+
+
+def _as_prompt_list(prompts) -> List[np.ndarray]:
+    """Normalise a generation-prompt argument to a list of 1-D prompts.
+
+    A 1-D array *or a flat list of token ids* is one prompt (the historical
+    ``generate_batch`` contract), not a batch of single-token prompts.
+    """
+    if isinstance(prompts, np.ndarray):
+        if prompts.ndim == 1:
+            prompts = prompts[None]
+    else:
+        flat = list(prompts)
+        if flat and all(np.ndim(p) == 0 for p in flat):
+            prompts = np.asarray(flat, dtype=np.int64)[None]
+    return _as_sequence_list(prompts)
 
 
 #: Default token budget per batched forward.  Chosen so the big per-layer
@@ -167,6 +183,11 @@ class SparseInferenceEngine:
             out = out.reshape(batch, seq, d_model)
         return out
 
+    @property
+    def mlp_override(self):
+        """The bound MLP-replacement hook (for external decode drivers)."""
+        return self._mlp_override
+
     # ------------------------------------------------------------------- API
     def reset(self) -> None:
         """Reset any stateful components (e.g. the DIP-CA cache model)."""
@@ -291,25 +312,246 @@ class SparseInferenceEngine:
 
     def generate_batch(
         self,
-        prompts: np.ndarray,
+        prompts,
         max_new_tokens: int,
         temperature: float = 1.0,
         rng=None,
+        pad_id: int = 0,
     ) -> np.ndarray:
-        """Batched sampling across equal-length prompts (one forward per step).
+        """Batched sampling across (possibly ragged) prompts.
+
+        Ragged prompts are left-padded with ``pad_id`` and decoded in
+        lock-step behind an attention mask; the result is ``(batch,
+        max_prompt_len + max_new_tokens)`` with each row right-aligned.
 
         Methods whose masks depend on a cache state (DIP-CA, Algorithm 1)
         define token order as part of the method, so they fall back to the
         sequential per-prompt loop — batched decode would interleave prompts
-        and change the masks.
+        and change the masks.  The fallback left-pads its per-prompt outputs
+        exactly like the batched path, so both layouts agree.
         """
-        prompts = np.asarray(prompts, dtype=np.int64)
-        if prompts.ndim == 1:
-            prompts = prompts[None]
+        sequences = _as_prompt_list(prompts)
         if self.method.requires_cache_state:
-            return np.stack(
-                [self.generate(p, max_new_tokens, temperature=temperature, rng=rng) for p in prompts]
-            )
+            outputs = [
+                self.generate(p, max_new_tokens, temperature=temperature, rng=rng) for p in sequences
+            ]
+            longest = max(len(p) for p in sequences)
+            stacked = np.full((len(outputs), longest + max_new_tokens), int(pad_id), dtype=np.int64)
+            for i, out in enumerate(outputs):
+                stacked[i, longest + max_new_tokens - len(out) :] = out
+            return stacked
         return self.model.generate_batch(
-            prompts, max_new_tokens, temperature=temperature, rng=rng, mlp_override=self._mlp_override
+            sequences,
+            max_new_tokens,
+            temperature=temperature,
+            rng=rng,
+            mlp_override=self._mlp_override,
+            pad_id=pad_id,
         )
+
+
+class ContinuousBatch:
+    """Slot-wise continuous-batching decode core.
+
+    A fixed pool of KV-cache slots decodes in lock-step; a finished sequence
+    frees its slot via :meth:`evict` and newly arrived ragged prompts prefill
+    straight into the freed slots (:meth:`admit`) while the rest of the batch
+    keeps decoding.  Every slot keeps its own RoPE positions and key mask, so
+    greedy outputs are bit-identical to one-at-a-time
+    :meth:`~repro.nn.transformer.CausalLM.generate` regardless of admission
+    order or batch composition.  (Cache-state methods — DIP-CA — are the one
+    exception: their masks depend on token order, so :meth:`from_engine`
+    rejects them above ``max_batch_size=1``.)
+
+    This class is synchronous and deterministic — the asyncio request
+    front-end over it lives in :mod:`repro.serving.scheduler`.
+    """
+
+    def __init__(
+        self,
+        model: CausalLM,
+        mlp_override=None,
+        max_batch_size: int = 8,
+        max_seq_len: Optional[int] = None,
+        pad_id: int = 0,
+    ):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.model = model
+        self.mlp_override = mlp_override
+        self.max_batch_size = max_batch_size
+        self.max_seq_len = max_seq_len if max_seq_len is not None else model.config.max_seq_len
+        self.pad_id = pad_id
+        self.caches = model.new_kv_caches(self.max_seq_len, batch_size=max_batch_size)
+        self.occupied = np.zeros(max_batch_size, dtype=bool)
+
+    @classmethod
+    def from_engine(cls, engine: SparseInferenceEngine, **kwargs) -> "ContinuousBatch":
+        """Build a batch that decodes under ``engine``'s sparsity method.
+
+        Methods whose masks depend on a cache state (DIP-CA) define token
+        order as part of the method; batched continuous decode would change
+        their masks, so they are only accepted at ``max_batch_size=1``
+        (which is how the serving scheduler degrades for them).
+        """
+        if engine.method.requires_cache_state and kwargs.get("max_batch_size", 8) > 1:
+            raise ValueError(
+                f"method '{engine.method.name}' requires cache state (token order is part of "
+                "the method); continuous batching would change its masks — use "
+                "max_batch_size=1 or engine.generate_batch's sequential fallback"
+            )
+        return cls(engine.model, mlp_override=engine.mlp_override, **kwargs)
+
+    # ------------------------------------------------------------- slot state
+    def free_slots(self) -> List[int]:
+        """Indices of currently unoccupied KV-cache slots."""
+        return [int(i) for i in np.flatnonzero(~self.occupied)]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of occupied slots."""
+        return int(self.occupied.sum())
+
+    def slot_length(self, slot: int) -> int:
+        """Tokens currently cached in ``slot`` (prompt + decoded)."""
+        return int(self.caches[0].lengths[slot])
+
+    # ------------------------------------------------------------- operations
+    def admit(self, prompts: Sequence[np.ndarray]) -> Tuple[List[int], np.ndarray]:
+        """Prefill ragged prompts into free slots (one batched forward).
+
+        Returns ``(slots, logits)`` where ``slots[i]`` is the cache slot now
+        holding ``prompts[i]`` and ``logits[i]`` are the last-position logits
+        (the distribution of each prompt's first new token).
+        """
+        prompts = [np.asarray(p, dtype=np.int64).reshape(-1) for p in prompts]
+        free = self.free_slots()
+        if len(prompts) > len(free):
+            raise ValueError(f"cannot admit {len(prompts)} prompts into {len(free)} free slots")
+        for prompt in prompts:
+            if len(prompt) >= self.max_seq_len:
+                raise ValueError(
+                    f"prompt of {len(prompt)} tokens leaves no decode room in "
+                    f"max_seq_len={self.max_seq_len}"
+                )
+        slots = free[: len(prompts)]
+        padded, position_ids, key_bias, _ = left_pad_ragged(prompts, self.pad_id)
+        longest = padded.shape[1]
+        staging = self.model.new_kv_caches(max_seq_len=longest, batch_size=len(prompts))
+        logits = self.model.forward_array(
+            padded,
+            kv_caches=staging,
+            mlp_override=self.mlp_override,
+            attention_mask=key_bias,
+            position_ids=position_ids,
+            last_only=True,
+        )
+        # Copy each prompt's K/V (skipping its pads) into its slot at 0..L-1.
+        for i, slot in enumerate(slots):
+            pad = longest - len(prompts[i])
+            for cache, staged in zip(self.caches, staging):
+                cache.insert_slot(slot, staged.keys[i, :, pad:longest], staged.values[i, :, pad:longest])
+            self.occupied[slot] = True
+        return slots, logits[:, -1, :]
+
+    def step(self, slots: Sequence[int], tokens: Sequence[int]) -> np.ndarray:
+        """Decode one token per slot in lock-step; returns next-token logits.
+
+        ``tokens[i]`` is appended to ``slots[i]`` — slots may sit at different
+        sequence lengths; shorter slots' unused key positions are masked out.
+        """
+        slots = [int(s) for s in slots]
+        if not slots:
+            raise ValueError("step needs at least one slot")
+        for slot in slots:
+            if not self.occupied[slot]:
+                raise ValueError(f"slot {slot} is not occupied")
+        ids = np.asarray(tokens, dtype=np.int64).reshape(len(slots), 1)
+        lengths = self.caches[0].lengths[slots]
+        if int(lengths.max()) + 1 > self.max_seq_len:
+            raise RuntimeError("KV cache overflow; evict finished slots or raise max_seq_len")
+        new_lengths = lengths + 1
+        total = int(new_lengths.max())
+        key_bias = np.where(np.arange(total)[None, :] < new_lengths[:, None], 0.0, MASKED_BIAS)
+        logits = self.model.forward_array(
+            ids,
+            kv_caches=[cache.slot_view(slots) for cache in self.caches],
+            mlp_override=self.mlp_override,
+            attention_mask=key_bias,
+            position_ids=lengths[:, None],
+        )
+        return logits[:, -1, :]
+
+    def evict(self, slot: int) -> None:
+        """Retire a finished sequence and free its KV-cache slot."""
+        for cache in self.caches:
+            cache.evict_slot(int(slot))
+        self.occupied[int(slot)] = False
+
+    def reset(self) -> None:
+        """Evict everything (e.g. between benchmark runs)."""
+        for cache in self.caches:
+            cache.reset()
+        self.occupied[:] = False
+
+
+def serve_continuous_greedy(
+    batch: ContinuousBatch,
+    prompts: Sequence[np.ndarray],
+    max_new_tokens: Sequence[int],
+    admission: str = "fcfs",
+) -> List[np.ndarray]:
+    """Drive a :class:`ContinuousBatch` over a request list without asyncio.
+
+    Greedy-decodes every prompt for its own ``max_new_tokens[i]`` budget,
+    admitting queued prompts as slots free up (``admission``: ``"fcfs"`` or
+    ``"shortest"``, which admits shorter prompts first).  Returns the full
+    (prompt + continuation) sequences in input order — token-for-token
+    identical to one-at-a-time greedy ``generate``.  Used by benchmarks and
+    parity tests; the asyncio scheduler exposes the same core to servers.
+    """
+    if admission not in ("fcfs", "shortest"):
+        raise ValueError("admission must be 'fcfs' or 'shortest'")
+    prompts = [np.asarray(p, dtype=np.int64).reshape(-1) for p in prompts]
+    budgets = list(max_new_tokens)
+    if len(budgets) != len(prompts):
+        raise ValueError("need one max_new_tokens per prompt")
+    if min(budgets, default=1) <= 0:
+        raise ValueError("max_new_tokens must be positive")
+    waiting = list(range(len(prompts)))
+    if admission == "shortest":
+        waiting.sort(key=lambda i: len(prompts[i]))
+    results: List[Optional[np.ndarray]] = [None] * len(prompts)
+    generated: dict = {}
+    active: dict = {}  # slot -> request index
+    pending: dict = {}  # request index -> last sampled (unfed) token
+
+    def retire_if_done(index: int, slot: int) -> None:
+        if len(generated[index]) >= budgets[index]:
+            results[index] = np.concatenate([prompts[index], np.asarray(generated[index], dtype=np.int64)])
+            batch.evict(slot)
+            del active[slot]
+            pending.pop(index, None)
+
+    while waiting or active:
+        n_free = len(batch.free_slots())
+        if waiting and n_free:
+            admitted, waiting = waiting[:n_free], waiting[n_free:]
+            slots, logits = batch.admit([prompts[i] for i in admitted])
+            for row, (index, slot) in enumerate(zip(admitted, slots)):
+                active[slot] = index
+                token = int(np.argmax(logits[row]))
+                generated[index] = [token]
+                pending[index] = token
+                retire_if_done(index, slot)
+        if not active:
+            continue
+        slots = sorted(active)
+        logits = batch.step(slots, [pending[active[s]] for s in slots])
+        for row, slot in enumerate(slots):
+            index = active[slot]
+            token = int(np.argmax(logits[row]))
+            generated[index].append(token)
+            pending[index] = token
+            retire_if_done(index, slot)
+    return results

@@ -58,18 +58,41 @@ class RotaryEmbedding:
         # and two adds, but fused into a single vectorised pass.
         self._rotor = self.cos + 1j * self.sin  # (seq, head_dim/2) complex128
 
-    def rotate(self, x: np.ndarray, position_offset: int = 0) -> np.ndarray:
-        """Apply rotary embedding to ``x`` of shape ``(..., seq, head_dim)``."""
+    def rotate(
+        self,
+        x: np.ndarray,
+        position_offset: int = 0,
+        position_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Apply rotary embedding to ``x`` of shape ``(..., seq, head_dim)``.
+
+        ``position_ids`` — shape ``(seq,)`` or ``(batch, seq)`` — gives each
+        token an explicit absolute position, overriding the contiguous
+        ``position_offset .. position_offset + seq`` range.  This is the
+        ragged-batch path: in a left-padded batch (or a continuous-batching
+        decode step) every row sits at its own offset.
+        """
         seq_len = x.shape[-2]
-        if position_offset + seq_len > self.max_seq_len:
-            raise ValueError("sequence exceeds RoPE table length")
-        rotor = self._rotor[position_offset : position_offset + seq_len]
+        if position_ids is not None:
+            position_ids = np.asarray(position_ids, dtype=np.int64)
+            if position_ids.shape[-1] != seq_len:
+                raise ValueError("position_ids last axis must match the sequence length")
+            if int(position_ids.max(initial=0)) >= self.max_seq_len or int(position_ids.min(initial=0)) < 0:
+                raise ValueError("position_ids exceed the RoPE table length")
+            rotor = self._rotor[position_ids]  # (..., seq, head_dim/2)
+            if position_ids.ndim == 2:
+                # Align (batch, seq, hd/2) under the head axis of (batch, heads, seq, hd).
+                rotor = rotor[:, None]
+        else:
+            if position_offset + seq_len > self.max_seq_len:
+                raise ValueError("sequence exceeds RoPE table length")
+            rotor = self._rotor[position_offset : position_offset + seq_len]
         if x.dtype == np.float64 and x.strides[-1] == x.itemsize:
             # Zero-copy complex view of the interleaved (even, odd) pairs.
             rotated = x.view(np.complex128) * rotor
             return rotated.view(np.float64)
-        cos = self.cos[position_offset : position_offset + seq_len]
-        sin = self.sin[position_offset : position_offset + seq_len]
+        cos = rotor.real
+        sin = rotor.imag
         x_even = x[..., 0::2]
         x_odd = x[..., 1::2]
         rotated = np.empty_like(x)
@@ -86,6 +109,13 @@ class KVCache:
     ``batch_size=1`` (the default) reproduces the original single-sequence
     cache; 3-D appends of shape ``(n_kv_heads, t, head_dim)`` keep working
     and return 3-D views.
+
+    Each batch row is also an independently managed *slot* for continuous
+    batching: :meth:`insert_slot` prefills one row with a new sequence's K/V,
+    :meth:`evict_slot` frees it, and :meth:`slot_view` yields a cache-like
+    object that appends decode tokens at per-slot positions (``lengths``
+    tracks every slot's fill independently; ``length`` remains the scalar
+    lock-step high-water mark).
     """
 
     def __init__(self, n_kv_heads: int, head_dim: int, max_seq_len: int, batch_size: int = 1):
@@ -98,6 +128,7 @@ class KVCache:
         self.keys = np.zeros((batch_size, n_kv_heads, max_seq_len, head_dim))
         self.values = np.zeros((batch_size, n_kv_heads, max_seq_len, head_dim))
         self.length = 0
+        self.lengths = np.zeros(batch_size, dtype=np.int64)
 
     def append(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Append new keys/values for ``t`` tokens per sequence.
@@ -121,20 +152,99 @@ class KVCache:
         self.keys[:, :, self.length : self.length + t] = keys
         self.values[:, :, self.length : self.length + t] = values
         self.length += t
+        self.lengths[:] = self.length
         k_all = self.keys[:, :, : self.length]
         v_all = self.values[:, :, : self.length]
         if squeeze:
             return k_all[0], v_all[0]
         return k_all, v_all
 
+    # ------------------------------------------------------------ slot-wise API
+    def insert_slot(self, slot: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Prefill one cache slot with a sequence's K/V at positions ``0..L-1``.
+
+        ``keys``/``values`` have shape ``(n_kv_heads, L, head_dim)``.  The
+        slot's tail past ``L`` is zeroed so a re-used slot never exposes a
+        previous occupant's K/V to an under-masked consumer.
+        """
+        length = keys.shape[1]
+        if length > self.max_seq_len:
+            raise RuntimeError("KV cache overflow")
+        self.keys[slot, :, :length] = keys
+        self.keys[slot, :, length:] = 0.0
+        self.values[slot, :, :length] = values
+        self.values[slot, :, length:] = 0.0
+        self.lengths[slot] = length
+        self.length = int(self.lengths.max())
+
+    def evict_slot(self, slot: int) -> None:
+        """Free one cache slot (its K/V become dead; masks must hide it)."""
+        self.lengths[slot] = 0
+        self.length = int(self.lengths.max())
+
+    def slot_view(self, slots) -> "KVCacheSlotView":
+        """A per-slot append view over ``slots`` for continuous-batching decode."""
+        return KVCacheSlotView(self, slots)
+
     def reset(self) -> None:
         self.length = 0
+        self.lengths[:] = 0
 
     def memory_bytes(self, bytes_per_element: float = 2.0) -> float:
         """Approximate KV-cache footprint (fp16 by default)."""
         return (
             2.0 * self.batch_size * self.n_kv_heads * self.max_seq_len * self.head_dim * bytes_per_element
         )
+
+
+class KVCacheSlotView:
+    """A view of selected :class:`KVCache` slots with per-slot append positions.
+
+    Passed in place of a :class:`KVCache` for one continuous-batching decode
+    step: :meth:`append` writes each sequence's new K/V at that sequence's own
+    current length (slots decode at *different* positions) and returns the
+    gathered keys/values up to the longest selected slot.  Shorter slots carry
+    zeros past their length — callers mask those positions out via the
+    attention ``attention_mask``/key bias, exactly like left-padding.
+    """
+
+    def __init__(self, cache: KVCache, slots):
+        self.cache = cache
+        self.slots = np.asarray(slots, dtype=np.int64)
+        if self.slots.ndim != 1 or self.slots.size == 0:
+            raise ValueError("slot_view needs a non-empty 1-D list of slot indices")
+        if self.slots.min() < 0 or self.slots.max() >= cache.batch_size:
+            raise ValueError(f"slot indices must lie in [0, {cache.batch_size})")
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.cache.lengths[self.slots]
+
+    @property
+    def length(self) -> int:
+        return int(self.lengths.max())
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append one decode token per selected slot at per-slot positions.
+
+        ``keys``/``values`` have shape ``(n_slots, n_kv_heads, 1, head_dim)``.
+        Returns gathered ``(n_slots, n_kv_heads, total, head_dim)`` arrays
+        where ``total`` is the longest selected slot after the append.
+        """
+        if keys.ndim != 4 or keys.shape[2] != 1:
+            raise ValueError("slot views append exactly one token per slot and step")
+        if keys.shape[0] != self.slots.size:
+            raise ValueError(f"expected K/V for {self.slots.size} slots, got {keys.shape[0]}")
+        cache = self.cache
+        positions = cache.lengths[self.slots]
+        if int(positions.max()) + 1 > cache.max_seq_len:
+            raise RuntimeError("KV cache overflow")
+        cache.keys[self.slots, :, positions] = keys[:, :, 0]
+        cache.values[self.slots, :, positions] = values[:, :, 0]
+        cache.lengths[self.slots] = positions + 1
+        cache.length = int(cache.lengths.max())
+        total = int(positions.max()) + 1
+        return cache.keys[self.slots, :, :total], cache.values[self.slots, :, :total]
 
 
 class GroupedQueryAttention(Module):
@@ -194,28 +304,43 @@ class GroupedQueryAttention(Module):
         return self.o_proj(context)
 
     # --------------------------------------------------------------- inference
-    def forward_array(self, x: np.ndarray, kv_cache: Optional[KVCache] = None) -> np.ndarray:
+    def forward_array(
+        self,
+        x: np.ndarray,
+        kv_cache: Optional[KVCache] = None,
+        attention_mask: Optional[np.ndarray] = None,
+        position_ids: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Inference path on plain arrays, optionally using a KV cache.
 
         ``x`` has shape ``(seq, d_model)`` (single sequence) or
         ``(batch, seq, d_model)``; the output matches the input rank.  With a
         cache the call processes ``seq`` new tokens per sequence appended
-        after the cached prefix.
+        after the cached prefix (``kv_cache`` may also be a
+        :class:`KVCacheSlotView` appending at per-slot positions).
+
+        ``attention_mask`` is an *additive* bias over key positions — shape
+        ``(total,)``, ``(batch, total)`` or ``(batch, seq, total)``, ``0`` for
+        visible keys and a large negative value (e.g. ``-1e9``) for hidden
+        ones.  Left-padded ragged batches use it to hide pad keys, and
+        continuous-batching decode uses it to hide the tail of shorter slots.
+        ``position_ids`` gives each query/key token its absolute RoPE
+        position (per row), overriding the cache-length offset.
         """
         cfg = self.config
         squeeze = x.ndim == 2
         if squeeze:
             x = x[None]
         batch, seq, _ = x.shape
-        offset = kv_cache.length if kv_cache is not None else 0
+        offset = kv_cache.length if kv_cache is not None and position_ids is None else 0
 
         # (batch, heads, seq, head_dim)
         q = self.q_proj.forward_array(x).reshape(batch, seq, cfg.n_heads, cfg.head_dim).transpose(0, 2, 1, 3)
         k = self.k_proj.forward_array(x).reshape(batch, seq, cfg.n_kv_heads, cfg.head_dim).transpose(0, 2, 1, 3)
         v = self.v_proj.forward_array(x).reshape(batch, seq, cfg.n_kv_heads, cfg.head_dim).transpose(0, 2, 1, 3)
 
-        q = self.rope.rotate(q, position_offset=offset)
-        k = self.rope.rotate(k, position_offset=offset)
+        q = self.rope.rotate(q, position_offset=offset, position_ids=position_ids)
+        k = self.rope.rotate(k, position_offset=offset, position_ids=position_ids)
 
         if kv_cache is not None:
             k_all, v_all = kv_cache.append(k, v)
@@ -236,6 +361,8 @@ class GroupedQueryAttention(Module):
         scores *= scale
         if seq > 1:  # a single new token attends to the whole prefix: no mask needed
             scores += _causal_bias_rect(seq, total)
+        if attention_mask is not None:
+            scores += _broadcast_key_bias(attention_mask, total)
         weights = F.softmax_array(scores, axis=-1)
         context = weights @ v_all  # (batch, kv, g, seq, head_dim)
         context = context.reshape(batch, cfg.n_heads, seq, cfg.head_dim)
@@ -281,6 +408,20 @@ def _repeat_kv(x: Tensor, repeats: int) -> Tensor:
     batch, kv_heads, seq, head_dim = x.shape
     expanded = x.reshape(batch, kv_heads, 1, seq, head_dim) * np.ones((1, 1, repeats, 1, 1))
     return expanded.reshape(batch, kv_heads * repeats, seq, head_dim)
+
+
+def _broadcast_key_bias(mask: np.ndarray, total: int) -> np.ndarray:
+    """Align an additive key bias with ``(batch, kv, group, seq, total)`` scores."""
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape[-1] != total:
+        raise ValueError(f"attention_mask covers {mask.shape[-1]} key positions, expected {total}")
+    if mask.ndim == 1:  # (total,) — one shared key bias
+        return mask
+    if mask.ndim == 2:  # (batch, total) — per-sequence key bias
+        return mask[:, None, None, None, :]
+    if mask.ndim == 3:  # (batch, seq, total) — per-query key bias
+        return mask[:, None, None, :, :]
+    raise ValueError("attention_mask must be 1-D, 2-D, or 3-D")
 
 
 # ---------------------------------------------------------------------------

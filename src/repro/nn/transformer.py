@@ -84,6 +84,45 @@ def _sample_token(logits: np.ndarray, temperature: float, rng) -> int:
     return int(rng.choice(len(probs), p=probs))
 
 
+#: Additive attention-bias value that hides a key position entirely (its
+#: softmax weight underflows to exactly 0.0, so masked keys do not perturb
+#: the numerics of visible ones).
+MASKED_BIAS = -1e9
+
+
+def left_pad_ragged(prompts: Sequence[np.ndarray], pad_id: int = 0):
+    """Left-pad ragged token sequences into one rectangular batch.
+
+    Returns ``(padded, position_ids, key_bias, lengths)``:
+
+    * ``padded`` — ``(batch, P)`` int64, each row right-aligned with
+      ``pad_id`` in front (``P`` is the longest prompt);
+    * ``position_ids`` — ``(batch, P)``, each real token's position *within
+      its own sequence* (pads get 0, which is irrelevant because they are
+      masked);
+    * ``key_bias`` — ``(batch, P)`` additive attention mask, ``0`` on real
+      tokens and :data:`MASKED_BIAS` on pads;
+    * ``lengths`` — ``(batch,)`` original sequence lengths.
+
+    Together with per-row RoPE positions this makes a left-padded batched
+    forward produce *bit-identical* hidden states for the real tokens of
+    every row, so ragged prompts no longer need equal-length bucketing.
+    """
+    sequences = [np.asarray(p, dtype=np.int64).reshape(-1) for p in prompts]
+    if not sequences or any(len(p) == 0 for p in sequences):
+        raise ValueError("left_pad_ragged needs at least one non-empty sequence")
+    lengths = np.asarray([len(p) for p in sequences], dtype=np.int64)
+    longest = int(lengths.max())
+    padded = np.full((len(sequences), longest), int(pad_id), dtype=np.int64)
+    for i, seq in enumerate(sequences):
+        padded[i, longest - len(seq) :] = seq
+    pads = (longest - lengths)[:, None]
+    columns = np.arange(longest)[None, :]
+    position_ids = np.maximum(columns - pads, 0)
+    key_bias = np.where(columns >= pads, 0.0, MASKED_BIAS)
+    return padded, position_ids, key_bias, lengths
+
+
 class TransformerBlock(Module):
     """Pre-norm transformer block: attention + gated MLP with residuals."""
 
@@ -112,10 +151,19 @@ class TransformerBlock(Module):
         x: np.ndarray,
         kv_cache: Optional[KVCache] = None,
         mlp_override=None,
+        attention_mask: Optional[np.ndarray] = None,
+        position_ids: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Inference path.  ``mlp_override(block, normed_x)`` replaces the MLP
-        computation when provided (used by the sparse inference engine)."""
-        x = x + self.attention.forward_array(self.attention_norm.forward_array(x), kv_cache)
+        computation when provided (used by the sparse inference engine).
+        ``attention_mask``/``position_ids`` pass through to the attention
+        block (left-padded ragged batches, continuous-batching decode)."""
+        x = x + self.attention.forward_array(
+            self.attention_norm.forward_array(x),
+            kv_cache,
+            attention_mask=attention_mask,
+            position_ids=position_ids,
+        )
         normed = self.mlp_norm.forward_array(x)
         if mlp_override is not None:
             mlp_out = mlp_override(self, normed)
@@ -175,6 +223,8 @@ class CausalLM(Module):
         mlp_override=None,
         return_hidden: bool = False,
         last_only: bool = False,
+        attention_mask: Optional[np.ndarray] = None,
+        position_ids: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Inference logits for ``(seq,)`` or ``(batch, seq)`` token ids.
 
@@ -182,7 +232,9 @@ class CausalLM(Module):
         ``(batch, seq, vocab)``.  ``last_only=True`` projects logits for the
         final position only (shape ``(..., 1, vocab)``) — the prefill fast
         path of :meth:`generate`, which skips the full-vocabulary projection
-        for every non-final prompt position.
+        for every non-final prompt position.  ``attention_mask`` (additive
+        key bias) and ``position_ids`` (absolute RoPE positions per token)
+        support left-padded ragged batches; see :func:`left_pad_ragged`.
         """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim not in (1, 2):
@@ -191,7 +243,13 @@ class CausalLM(Module):
         hidden_states = []
         for i, block in enumerate(self.blocks):
             cache = kv_caches[i] if kv_caches is not None else None
-            x = block.forward_array(x, kv_cache=cache, mlp_override=mlp_override)
+            x = block.forward_array(
+                x,
+                kv_cache=cache,
+                mlp_override=mlp_override,
+                attention_mask=attention_mask,
+                position_ids=position_ids,
+            )
             if return_hidden:
                 hidden_states.append(x.copy())
         x = self.final_norm.forward_array(x)
@@ -247,17 +305,35 @@ class CausalLM(Module):
         temperature: float = 1.0,
         rng=None,
         mlp_override=None,
+        pad_id: int = 0,
     ) -> np.ndarray:
-        """Autoregressive sampling for a batch of equal-length prompts.
+        """Autoregressive sampling for a batch of (possibly ragged) prompts.
 
-        ``prompts`` has shape ``(batch, prompt_len)``; the batch shares one
+        ``prompts`` is a ``(batch, prompt_len)`` array or a list of ragged
+        1-D prompts; ragged rows are left-padded with ``pad_id``, pad keys
+        are masked out of attention, and every row keeps its own RoPE
+        positions, so the result is ``(batch, max_prompt_len +
+        max_new_tokens)`` with each row right-aligned.  The batch shares one
         set of batched KV caches, so each decode step is a single forward.
         Greedy decoding (``temperature <= 0``) matches :meth:`generate` on
-        every prompt; sampled decoding draws per-prompt in batch order each
-        step, so it consumes the RNG in a different order than a sequential
-        loop would.
+        every prompt exactly, ragged or not; sampled decoding draws
+        per-prompt in batch order each step, so it consumes the RNG in a
+        different order than a sequential loop would.
         """
         rng = new_rng(rng)
+        if not isinstance(prompts, np.ndarray):
+            flat = list(prompts)
+            if flat and all(np.ndim(p) == 0 for p in flat):
+                # A flat token list is one prompt (the historical contract),
+                # not a batch of single-token prompts.
+                prompts = np.asarray(flat, dtype=np.int64)[None]
+            else:
+                sequences = [np.asarray(p, dtype=np.int64).reshape(-1) for p in flat]
+                if len({len(p) for p in sequences}) > 1:
+                    return self._generate_batch_ragged(
+                        sequences, max_new_tokens, temperature, rng, mlp_override, pad_id
+                    )
+                prompts = np.stack(sequences) if sequences else np.zeros((0, 0), dtype=np.int64)
         prompts = np.asarray(prompts, dtype=np.int64)
         if prompts.ndim == 1:
             prompts = prompts[None]
@@ -281,6 +357,43 @@ class CausalLM(Module):
                         generated[:, prompt_len + step : prompt_len + step + 1],
                         kv_caches=caches,
                         mlp_override=mlp_override,
+                    )
+        return generated
+
+    def _generate_batch_ragged(
+        self, sequences, max_new_tokens, temperature, rng, mlp_override, pad_id
+    ) -> np.ndarray:
+        """Ragged-prompt decode: left-padded prefill, then lock-step sampling."""
+        padded, position_ids, key_bias, lengths = left_pad_ragged(sequences, pad_id)
+        batch, longest = padded.shape
+        caches = self.new_kv_caches(max_seq_len=longest + max_new_tokens, batch_size=batch)
+        generated = np.empty((batch, longest + max_new_tokens), dtype=np.int64)
+        generated[:, :longest] = padded
+        # Pad keys stay masked for the whole decode; generated keys are visible.
+        full_bias = np.concatenate([key_bias, np.zeros((batch, max_new_tokens))], axis=1)
+        with no_grad():
+            logits = self.forward_array(
+                padded,
+                kv_caches=caches,
+                mlp_override=mlp_override,
+                attention_mask=key_bias,
+                position_ids=position_ids,
+                last_only=True,
+            )
+            for step in range(max_new_tokens):
+                last = logits[:, -1, :]
+                if temperature <= 0:
+                    next_ids = np.argmax(last, axis=-1)
+                else:
+                    next_ids = np.asarray([_sample_token(row, temperature, rng) for row in last])
+                generated[:, longest + step] = next_ids
+                if step + 1 < max_new_tokens:
+                    logits = self.forward_array(
+                        generated[:, longest + step : longest + step + 1],
+                        kv_caches=caches,
+                        mlp_override=mlp_override,
+                        attention_mask=full_bias[:, : longest + step + 1],
+                        position_ids=(lengths + step)[:, None],
                     )
         return generated
 

@@ -12,6 +12,7 @@ type-checks concrete methods.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -172,6 +173,19 @@ class SparseSession:
             task_suite=self.task_suite,
             dense_ppl=self.dense_ppl,
         )
+
+    def share_calibration(self) -> "SparseSession":
+        """Clone the session onto a *deep copy* of the current method.
+
+        The copy carries any calibration state the method has already fitted,
+        so a pool of workers can :meth:`calibrate` once on the base session
+        and fan out independent sessions without re-running calibration (and
+        without sharing mutable method state across workers).  See
+        :class:`~repro.serving.pool.SessionPool`.
+        """
+        clone = self.with_method(copy.deepcopy(self.method))
+        clone._calibrated = self._calibrated
+        return clone
 
     # -------------------------------------------------------------- lifecycle
     def reset(self) -> None:

@@ -1,0 +1,55 @@
+"""Async serving layer: continuous batching over the pipeline API.
+
+The serving subsystem turns the library from a batch-experiment tool into a
+request-driven service:
+
+* :mod:`repro.serving.requests` — :class:`GenerationRequest` /
+  :class:`GenerationResult` wire types (JSON round-trip) and
+  :func:`run_experiment_payload` for full ``ExperimentSpec`` payloads.
+* :mod:`repro.serving.scheduler` — :class:`ContinuousBatchingScheduler`, an
+  asyncio event loop over the slot-wise
+  :class:`~repro.engine.inference.ContinuousBatch` decode core: sequences
+  retire the moment they finish and queued ragged prompts are admitted into
+  the freed KV-cache slots.
+* :mod:`repro.serving.pool` — :class:`SessionPool`, calibrate once and fan
+  out per-worker :class:`~repro.pipeline.session.SparseSession` clones.
+* :mod:`repro.serving.server` — a stdlib asyncio HTTP front-end
+  (``/generate`` with incremental token streaming, ``/experiment``,
+  ``/stats``) plus :class:`BackgroundServer` for tests and demos.
+
+.. code-block:: python
+
+    from repro.serving import ContinuousBatchingScheduler, GenerationRequest
+
+    async with ContinuousBatchingScheduler(session) as scheduler:
+        result = await scheduler.submit(GenerationRequest(prompt=(5, 9, 2)))
+"""
+
+from repro.serving.requests import (
+    GenerationRequest,
+    GenerationResult,
+    RequestError,
+    run_experiment_payload,
+)
+from repro.serving.scheduler import (
+    ADMISSION_POLICIES,
+    ContinuousBatchingScheduler,
+    SchedulerConfig,
+    TokenStream,
+)
+from repro.serving.pool import SessionPool
+from repro.serving.server import BackgroundServer, ServingServer
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "BackgroundServer",
+    "ContinuousBatchingScheduler",
+    "GenerationRequest",
+    "GenerationResult",
+    "RequestError",
+    "SchedulerConfig",
+    "ServingServer",
+    "SessionPool",
+    "TokenStream",
+    "run_experiment_payload",
+]

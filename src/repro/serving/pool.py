@@ -1,0 +1,96 @@
+"""A pool of worker sessions sharing one calibration.
+
+Calibration (threshold fitting, predictor training) is the expensive part of
+bringing a sparsity method up; it depends only on the model and calibration
+data, not on which worker later runs requests.  :class:`SessionPool`
+calibrates the base :class:`~repro.pipeline.session.SparseSession` **once**
+and fans out workers via
+:meth:`~repro.pipeline.session.SparseSession.share_calibration` — each worker
+gets an independent deep copy of the calibrated method (no mutable state
+shared across workers) bound to the *same* model and evaluation assets.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, List, Optional
+
+from repro.pipeline.session import SparseSession
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.pool")
+
+
+class SessionPool:
+    """Check-out/check-in pool of calibration-sharing worker sessions.
+
+    Thread-safe: the HTTP server runs ``/experiment`` handlers on executor
+    threads while the scheduler decodes on the event loop, each on its own
+    worker.  Workers are reset on release so no request sees a predecessor's
+    method state.
+    """
+
+    def __init__(self, session: SparseSession, size: int = 2, calibrate: bool = True):
+        if size <= 0:
+            raise ValueError("pool size must be positive")
+        if calibrate:
+            session.calibrate()
+        self.base = session
+        self.workers: List[SparseSession] = [session.share_calibration() for _ in range(size)]
+        self._free: List[SparseSession] = list(self.workers)
+        self._condition = threading.Condition()
+        self._acquired_total = 0
+        self._peak_in_use = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    # ----------------------------------------------------------- check-out/in
+    def acquire(self, timeout: Optional[float] = None) -> SparseSession:
+        """Check a worker out (blocking until one frees up)."""
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._free, timeout=timeout):
+                raise TimeoutError(f"no free worker after {timeout:.1f}s (pool size {self.size})")
+            worker = self._free.pop()
+            self._acquired_total += 1
+            self._peak_in_use = max(self._peak_in_use, self.size - len(self._free))
+            return worker
+
+    def release(self, worker: SparseSession) -> None:
+        """Check a worker back in (its method state is reset)."""
+        if worker not in self.workers:
+            raise ValueError("released session does not belong to this pool")
+        worker.reset()
+        with self._condition:
+            if worker in self._free:
+                raise ValueError("session released twice")
+            self._free.append(worker)
+            self._condition.notify()
+
+    @contextlib.contextmanager
+    def borrow(self, timeout: Optional[float] = None):
+        """``with pool.borrow() as session:`` — acquire/release as a scope."""
+        worker = self.acquire(timeout=timeout)
+        try:
+            yield worker
+        finally:
+            self.release(worker)
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, object]:
+        with self._condition:
+            free = len(self._free)
+        return {
+            "size": self.size,
+            "free": free,
+            "in_use": self.size - free,
+            "peak_in_use": self._peak_in_use,
+            "acquired_total": self._acquired_total,
+            "method": self.base.method.name,
+            "model": self.base.model_name,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SessionPool(size={self.size}, method={self.base.method.name})"

@@ -1,0 +1,374 @@
+"""Asyncio continuous-batching scheduler over the slot-wise decode core.
+
+:class:`ContinuousBatchingScheduler` accepts :class:`GenerationRequest`\\ s at
+any time, keeps a live batch of sequences decoding in lock-step through a
+:class:`~repro.engine.inference.ContinuousBatch`, retires each sequence the
+moment it finishes, and admits queued prompts into the freed KV-cache slots —
+ragged prompt lengths are handled by the left-padded prefill, so admission
+never waits for equal-length batches.
+
+Determinism contract: with greedy decoding (``temperature == 0``) every
+request's tokens are identical to a one-at-a-time
+:meth:`~repro.engine.inference.SparseInferenceEngine.generate` call,
+regardless of arrival order, admission policy, or batch composition.
+Sampled decoding draws from a per-request RNG (``request.seed``), so a
+request's draws do not depend on its batch neighbours either.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import AsyncIterator, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.inference import ContinuousBatch
+from repro.nn.transformer import _sample_token
+from repro.pipeline.session import SparseSession
+from repro.serving.requests import GenerationRequest, GenerationResult, RequestError
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+logger = get_logger("serving.scheduler")
+
+#: Admission policies: first-come-first-served, or shortest prompt first
+#: (minimises padded prefill width when many ragged prompts are queued).
+ADMISSION_POLICIES = ("fcfs", "shortest")
+
+_DONE = object()  # stream sentinel
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the continuous-batching scheduler."""
+
+    #: KV-cache slots decoding concurrently (the live batch width).
+    max_batch_size: int = 8
+    #: Queued requests beyond which ``submit`` raises (back-pressure).
+    max_queue: int = 1024
+    #: Admission order for queued prompts (see :data:`ADMISSION_POLICIES`).
+    admission: str = "fcfs"
+    #: KV-cache capacity per slot; ``None`` uses the model's ``max_seq_len``.
+    max_seq_len: Optional[int] = None
+    #: Token id used for left-padding ragged admission prefills.
+    pad_id: int = 0
+
+    def __post_init__(self):
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(f"unknown admission policy '{self.admission}'; use {ADMISSION_POLICIES}")
+
+
+class _Entry:
+    """Scheduler-side state of one in-flight request."""
+
+    __slots__ = ("request", "rng", "tokens", "stream", "slot", "last_token", "error",
+                 "submitted_at", "started_at", "finished_at")
+
+    def __init__(self, request: GenerationRequest):
+        self.request = request
+        self.rng = new_rng(request.seed)
+        self.tokens: List[int] = []
+        self.stream: asyncio.Queue = asyncio.Queue()
+        self.slot: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self.submitted_at = time.perf_counter()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def remaining(self) -> int:
+        return self.request.max_new_tokens - len(self.tokens)
+
+    def result(self) -> GenerationResult:
+        return GenerationResult(
+            request_id=self.request.request_id,
+            prompt=self.request.prompt,
+            tokens=tuple(self.tokens),
+            finish_reason="length",
+            queued_seconds=(self.started_at or self.submitted_at) - self.submitted_at,
+            decode_seconds=(self.finished_at or self.submitted_at) - (self.started_at or self.submitted_at),
+        )
+
+
+class TokenStream:
+    """Async iterator over a queued request's tokens.
+
+    ``request`` / ``request_id`` carry the scheduler-assigned identity (a
+    blank ``request_id`` is filled in at queueing), so streaming consumers
+    can correlate the stream with ``stats()`` and server logs.
+    """
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    @property
+    def request(self) -> GenerationRequest:
+        return self._entry.request
+
+    @property
+    def request_id(self) -> str:
+        return self._entry.request.request_id
+
+    def __aiter__(self) -> AsyncIterator[int]:
+        return self._drain()
+
+    async def _drain(self) -> AsyncIterator[int]:
+        while True:
+            item = await self._entry.stream.get()
+            if item is _DONE:
+                ContinuousBatchingScheduler._raise_if_failed(self._entry)
+                return
+            yield item
+
+
+class ContinuousBatchingScheduler:
+    """Serve generation requests through one shared continuous batch.
+
+    Built over a calibrated :class:`~repro.pipeline.session.SparseSession`;
+    the session's sparsity method stays active during decode.  Methods whose
+    masks depend on a cache state (``requires_cache_state``, i.e. DIP-CA)
+    define token order as part of the method, so the scheduler degrades to a
+    batch width of 1 for them (requests are still queued and streamed
+    asynchronously) and resets the method before each admission.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`::
+
+        async with ContinuousBatchingScheduler(session) as scheduler:
+            result = await scheduler.submit(GenerationRequest(prompt=(1, 2, 3)))
+    """
+
+    def __init__(self, session: SparseSession, config: Optional[SchedulerConfig] = None):
+        if session.engine is None:
+            raise ValueError("the scheduler needs a session with a prepared model")
+        self.session = session
+        self.config = config if config is not None else SchedulerConfig()
+        session.calibrate()
+        self._sequential_method = bool(session.method.requires_cache_state)
+        width = 1 if self._sequential_method else self.config.max_batch_size
+        self.batch = ContinuousBatch(
+            session.engine.model,
+            mlp_override=session.engine.mlp_override,
+            max_batch_size=width,
+            max_seq_len=self.config.max_seq_len,
+            pad_id=self.config.pad_id,
+        )
+        self._waiting: List[_Entry] = []
+        self._active: Dict[int, _Entry] = {}  # slot -> entry
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._stopping = False
+        self._request_counter = 0
+        # Counters for /stats.
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._tokens_generated = 0
+        self._steps = 0
+        self._step_slots = 0
+        self._busy_seconds = 0.0
+
+    # ---------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        self._stopping = False
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Finish in-flight and queued work, then stop the decode loop."""
+        if self._task is None:
+            return
+        self._stopping = True
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    async def __aenter__(self) -> "ContinuousBatchingScheduler":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ intake
+    def _enqueue(self, request: GenerationRequest) -> _Entry:
+        if self._task is None:
+            raise RuntimeError("scheduler is not running; use 'async with' or await start()")
+        if self._stopping:
+            raise RuntimeError("scheduler is stopping; no new requests accepted")
+        if len(self._waiting) >= self.config.max_queue:
+            raise RequestError(f"queue full ({self.config.max_queue} requests waiting)")
+        prompt_room = self.batch.max_seq_len - len(request.prompt)
+        if prompt_room <= 0:
+            raise RequestError(
+                f"prompt of {len(request.prompt)} tokens leaves no decode room in "
+                f"max_seq_len={self.batch.max_seq_len}"
+            )
+        # The KV cache fills to prompt_len + max_new_tokens - 1 (the final
+        # sampled token is never fed back); reject anything that cannot fit
+        # instead of letting the decode loop overflow mid-flight.
+        if request.max_new_tokens - 1 > prompt_room:
+            raise RequestError(
+                f"prompt of {len(request.prompt)} tokens + max_new_tokens="
+                f"{request.max_new_tokens} exceeds max_seq_len={self.batch.max_seq_len}; "
+                f"at most {prompt_room + 1} new tokens fit"
+            )
+        self._request_counter += 1
+        updates: Dict[str, object] = {}
+        if not request.request_id:
+            updates["request_id"] = f"req-{self._request_counter}"
+        if not request.arrival_time:
+            updates["arrival_time"] = time.time()
+        if updates:
+            request = dataclasses.replace(request, **updates)
+        entry = _Entry(request)
+        self._waiting.append(entry)
+        self._submitted += 1
+        self._wake.set()
+        return entry
+
+    async def submit(self, request: GenerationRequest) -> GenerationResult:
+        """Queue a request and await its completed :class:`GenerationResult`.
+
+        Raises ``RuntimeError`` if the request failed server-side (its decode
+        iteration raised); other queued requests are unaffected.
+        """
+        entry = self._enqueue(request)
+        while True:
+            item = await entry.stream.get()
+            if item is _DONE:
+                self._raise_if_failed(entry)
+                return entry.result()
+
+    def stream(self, request: GenerationRequest) -> "TokenStream":
+        """Queue a request and return an async iterator over its tokens.
+
+        Queueing (and its validation) happens *eagerly* at the call, not at
+        the first ``__anext__`` — so callers can reject a bad request before
+        committing to a streamed response — and the returned
+        :class:`TokenStream` carries the scheduler-assigned ``request_id``
+        (the HTTP server relies on both).
+        """
+        return TokenStream(self._enqueue(request))
+
+    @staticmethod
+    def _raise_if_failed(entry: _Entry) -> None:
+        if entry.error is not None:
+            raise RuntimeError(
+                f"request {entry.request.request_id} failed: {entry.error}"
+            ) from entry.error
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, object]:
+        """Live scheduler metrics (the server's ``/stats`` payload)."""
+        busy = self._busy_seconds
+        return {
+            "queue_depth": len(self._waiting),
+            "active_requests": len(self._active),
+            "max_batch_size": self.batch.max_batch_size,
+            "batch_occupancy": self.batch.occupancy / self.batch.max_batch_size,
+            "mean_step_batch": (self._step_slots / self._steps) if self._steps else 0.0,
+            "requests_submitted": self._submitted,
+            "requests_completed": self._completed,
+            "requests_failed": self._failed,
+            "tokens_generated": self._tokens_generated,
+            "decode_steps": self._steps,
+            "busy_seconds": busy,
+            "tokens_per_second": (self._tokens_generated / busy) if busy > 0 else 0.0,
+            "sequential_method": self._sequential_method,
+        }
+
+    # -------------------------------------------------------------- decode loop
+    def _take_admissible(self, n_free: int) -> List[_Entry]:
+        if self.config.admission == "shortest":
+            self._waiting.sort(key=lambda e: len(e.request.prompt))
+        taken, self._waiting = self._waiting[:n_free], self._waiting[n_free:]
+        return taken
+
+    def _emit(self, entry: _Entry, logits_row: np.ndarray) -> None:
+        """Sample one token for ``entry``, stream it, retire when done."""
+        token = _sample_token(logits_row, entry.request.temperature, entry.rng)
+        entry.tokens.append(token)
+        entry.last_token = token
+        entry.stream.put_nowait(token)
+        self._tokens_generated += 1
+        if entry.remaining <= 0:
+            entry.finished_at = time.perf_counter()
+            self.batch.evict(entry.slot)
+            del self._active[entry.slot]
+            self._completed += 1
+            entry.stream.put_nowait(_DONE)
+
+    def _fail_entries(self, entries: List[_Entry], error: BaseException) -> None:
+        """Retire entries with an error so their awaiters never hang."""
+        for entry in entries:
+            entry.error = error
+            entry.finished_at = time.perf_counter()
+            if entry.slot is not None and entry.slot in self._active:
+                self.batch.evict(entry.slot)
+                del self._active[entry.slot]
+            self._failed += 1
+            entry.stream.put_nowait(_DONE)
+
+    def _admit(self) -> None:
+        n_free = len(self.batch.free_slots())
+        if not self._waiting or not n_free:
+            return
+        entries = self._take_admissible(n_free)
+        if self._sequential_method:
+            self.session.method.reset()
+        now = time.perf_counter()
+        try:
+            slots, logits = self.batch.admit([e.request.prompt_array() for e in entries])
+        except Exception as exc:
+            logger.exception("admission failed; failing %d request(s)", len(entries))
+            self._fail_entries(entries, exc)
+            return
+        for row, (entry, slot) in enumerate(zip(entries, slots)):
+            entry.slot = slot
+            entry.started_at = now
+            self._active[slot] = entry
+            self._emit(entry, logits[row])
+
+    def _step(self) -> None:
+        if not self._active:
+            return
+        slots = sorted(self._active)
+        try:
+            logits = self.batch.step(slots, [self._active[s].last_token for s in slots])
+        except Exception as exc:
+            # Fail the whole live batch rather than the decode loop: waiting
+            # requests are untouched and keep being served.
+            logger.exception("decode step failed; failing %d active request(s)", len(slots))
+            self._fail_entries([self._active[s] for s in slots], exc)
+            return
+        self._steps += 1
+        self._step_slots += len(slots)
+        for row, slot in enumerate(slots):
+            self._emit(self._active[slot], logits[row])
+
+    async def _run(self) -> None:
+        logger.info(
+            "scheduler started: max_batch_size=%d admission=%s method=%s",
+            self.batch.max_batch_size, self.config.admission, self.session.method.name,
+        )
+        while True:
+            if not self._waiting and not self._active:
+                if self._stopping:
+                    break
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            started = time.perf_counter()
+            self._admit()
+            self._step()
+            self._busy_seconds += time.perf_counter() - started
+            # Yield so clients can consume streams and new submissions land.
+            await asyncio.sleep(0)
+        logger.info("scheduler stopped: %d requests served", self._completed)

@@ -129,6 +129,60 @@ class TestBatchedForward:
         assert np.array_equal(batched, singles)
 
 
+class TestRaggedGenerateBatch:
+    """Ragged prompts decode left-padded; the DIP-CA fallback matches the layout."""
+
+    PROMPTS = [[1, 2, 3, 4, 5, 6], [7, 8], [9, 10, 11]]
+
+    def test_ragged_rows_match_generate(self, trained_tiny_model):
+        out = trained_tiny_model.generate_batch(self.PROMPTS, max_new_tokens=5, temperature=0.0, pad_id=0)
+        longest = max(len(p) for p in self.PROMPTS)
+        assert out.shape == (3, longest + 5)
+        for i, prompt in enumerate(self.PROMPTS):
+            single = trained_tiny_model.generate(prompt, max_new_tokens=5, temperature=0.0)
+            assert np.array_equal(out[i, longest - len(prompt) :], single)
+            assert (out[i, : longest - len(prompt)] == 0).all()
+
+    def test_engine_ragged_matches_generate(self, trained_tiny_model, calibrated_method):
+        engine = SparseInferenceEngine(trained_tiny_model, calibrated_method)
+        engine.reset()
+        batched = engine.generate_batch(self.PROMPTS, max_new_tokens=4, temperature=0.0, pad_id=0)
+        longest = max(len(p) for p in self.PROMPTS)
+        for i, prompt in enumerate(self.PROMPTS):
+            engine.reset()
+            single = engine.generate(np.asarray(prompt), max_new_tokens=4, temperature=0.0)
+            assert np.array_equal(batched[i, longest - len(prompt) :], single)
+
+    def test_cache_state_fallback_layout_matches_batched_path(self, trained_tiny_model):
+        """Regression: the sequential DIP-CA fallback must pad like the batched path."""
+        from repro.sparsity.cache_aware import CacheAwareDIP
+        from repro.sparsity.base import DenseBaseline
+
+        cache_aware = SparseInferenceEngine(trained_tiny_model, CacheAwareDIP(target_density=0.6))
+        out = cache_aware.generate_batch(self.PROMPTS, max_new_tokens=4, temperature=0.0, pad_id=0)
+        dense = SparseInferenceEngine(trained_tiny_model, DenseBaseline())
+        reference = dense.generate_batch(self.PROMPTS, max_new_tokens=4, temperature=0.0, pad_id=0)
+        # Same shape and same pad placement as the batched (left-padded) path.
+        assert out.shape == reference.shape
+        longest = max(len(p) for p in self.PROMPTS)
+        # The fallback is the sequential loop (state carries across prompts,
+        # as it always did): replay it and check the left-padded placement.
+        replay = SparseInferenceEngine(trained_tiny_model, CacheAwareDIP(target_density=0.6))
+        for i, prompt in enumerate(self.PROMPTS):
+            pad = longest - len(prompt)
+            assert (out[i, :pad] == 0).all()
+            assert np.array_equal(out[i, pad : pad + len(prompt)], prompt)
+            single = replay.generate(np.asarray(prompt), max_new_tokens=4, temperature=0.0)
+            assert np.array_equal(out[i, pad:], single)
+
+    def test_equal_length_list_unchanged(self, trained_tiny_model):
+        """Equal-length prompts given as a list keep the legacy stacked layout."""
+        prompts = [[1, 2, 3], [4, 5, 6]]
+        out = trained_tiny_model.generate_batch(prompts, max_new_tokens=3, temperature=0.0)
+        stacked = trained_tiny_model.generate_batch(np.asarray(prompts), max_new_tokens=3, temperature=0.0)
+        assert np.array_equal(out, stacked)
+
+
 class TestRaggedBucketing:
     def test_ragged_perplexity_matches_manual(self, trained_tiny_model, eval_sequences):
         engine = SparseInferenceEngine(trained_tiny_model, REGISTRY.create("dip", target_density=0.6))
