@@ -63,7 +63,9 @@ def test_fig06_predictor_gap(benchmark, mistral, relufied_mistral, bench_setting
     relu = [r for r in rows if r["model"] == "ReLU-fied"]
     # The predictive-vs-oracle perplexity gap must be larger on SwiGLU than on ReLU-fied
     # (averaged over the density sweep) — the paper's central observation.
-    gap = lambda rs: float(np.mean([r["predictive_ppl"] - r["glu_oracle_ppl"] for r in rs]))
+    def gap(rs):
+        return float(np.mean([r["predictive_ppl"] - r["glu_oracle_ppl"] for r in rs]))
+
     assert gap(swiglu) > gap(relu) - 1e-6
     # And predictors should rank ReLU activations at least as well as SwiGLU ones.
     assert relu[0]["predictor_recall@50%"] >= swiglu[0]["predictor_recall@50%"] - 0.05

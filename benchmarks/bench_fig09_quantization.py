@@ -13,7 +13,6 @@ way to spend a shrinking memory budget.
 
 import copy
 
-import numpy as np
 
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.compression.footprint import model_memory_footprint, pruned_model_bytes, quantized_model_bytes

@@ -7,7 +7,6 @@ clairvoyant oracle), while DIP-CA beats all of them — choosing *what to
 request* matters more than choosing *what to evict*.
 """
 
-import numpy as np
 
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.engine.throughput import throughput_for_method

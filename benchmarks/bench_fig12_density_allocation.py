@@ -6,7 +6,6 @@ the linear logit-space allocation model the paper uses to pick per-component
 densities for a target MLP density.
 """
 
-import numpy as np
 
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.eval.perplexity import perplexity

@@ -13,6 +13,12 @@ tracked across PRs:
   (everyone decodes until the longest request finishes), and the
   continuous-batching ``ContinuousBatch`` core (finished sequences retire and
   queued prompts are admitted into the freed KV-cache slots).
+* **Prefix cache** (``BENCH_prefix_cache.json``) — the same continuous batch
+  serving 16 ragged requests that share a 64-token system-prompt head, with
+  and without a :class:`~repro.nn.prefix_cache.PrefixCache`, for *every*
+  registered sparsity method: asserts greedy outputs are token-identical
+  cache-on vs cache-off, and gates on the fraction of prefill token-forwards
+  the cache eliminates.
 
 Runs standalone (no pytest, no trained checkpoints: timing does not need
 trained weights)::
@@ -20,8 +26,10 @@ trained weights)::
     PYTHONPATH=src python benchmarks/bench_perf_regression.py [--check] [--fast]
 
 ``--check`` exits non-zero if any batched run is slower than its sequential
-loop or if continuous batching is below 1.5x sequential serving throughput
-(the CI smoke gates); ``--fast`` shrinks the workloads for CI runners.
+loop, if continuous batching is below 1.5x sequential serving throughput, if
+prefix caching breaks parity, or if it saves less than half of the shared-head
+prefill forwards (the CI smoke gates); ``--fast`` shrinks the workloads for
+CI runners.
 """
 
 from __future__ import annotations
@@ -37,17 +45,29 @@ import numpy as np
 
 from repro.engine.inference import ContinuousBatch, SparseInferenceEngine, serve_continuous_greedy
 from repro.nn.model_zoo import build_model, get_model_spec
+from repro.nn.prefix_cache import PrefixCache
 from repro.sparsity.base import DenseBaseline
 from repro.sparsity.dip import DynamicInputPruning
+from repro.sparsity.registry import REGISTRY
 from repro.utils.numerics import log_softmax
 
 _ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = _ROOT / "BENCH_batched_inference.json"
 SERVING_RESULT_PATH = _ROOT / "BENCH_serving.json"
+PREFIX_RESULT_PATH = _ROOT / "BENCH_prefix_cache.json"
 
 #: Continuous batching must beat sequential serving by at least this factor
 #: at 16 concurrent requests (the CI gate).
 SERVING_SPEEDUP_GATE = 1.5
+
+#: Prefix caching must eliminate at least this fraction of prefill
+#: token-forwards on the shared-system-prompt workload (the CI gate; applies
+#: to every method except cache-state ones, where the cache is disabled by
+#: construction).
+PREFIX_SAVED_GATE = 0.5
+
+#: Cheap constructor overrides so calibration-heavy methods stay benchmark-fast.
+PREFIX_METHOD_KWARGS = {"dejavu": {"predictor_hidden": 8, "predictor_epochs": 1}}
 
 MODEL_NAME = "tiny"  # smallest zoo entry: d_model=32, 2 layers
 
@@ -187,17 +207,114 @@ def run_serving(
     }
 
 
+def run_prefix_cache(
+    n_requests: int = 16,
+    shared_prefix: int = 64,
+    max_batch_size: int = 4,
+    block_size: int = 16,
+    repeats: int = 3,
+    fast: bool = False,
+) -> dict:
+    """Serve shared-system-prompt traffic with and without the prefix cache.
+
+    Every request's prompt is the same ``shared_prefix``-token head plus a
+    short unique suffix — the regime prefix caching targets.  For every
+    registered sparsity method the run asserts greedy parity (cache on ==
+    cache off, token for token) and records the fraction of prefill
+    token-forwards the cache eliminated.  Cache-state methods (DIP-CA) serve
+    at batch width 1 with the cache disabled (skipping prefix tokens would
+    change their masks), so their saved fraction is 0 by construction and
+    exempt from the gate.
+    """
+    if fast:
+        repeats = 2
+    spec = get_model_spec(MODEL_NAME)
+    model = build_model(MODEL_NAME, seed=0)
+    model.eval()
+    vocab = spec.sim_config.vocab_size
+    max_seq_len = spec.sim_config.max_seq_len
+    rng = np.random.default_rng(2)
+    head = rng.integers(0, vocab, size=shared_prefix)
+    suffixes = rng.integers(2, 9, size=n_requests)
+    prompts = [np.concatenate([head, rng.integers(0, vocab, size=int(s))]) for s in suffixes]
+    budgets = [int(b) for b in rng.integers(4, 9, size=n_requests)]
+    calibration = rng.integers(0, vocab, size=(4, 16))
+    assert max(len(p) for p in prompts) + max(budgets) <= max_seq_len
+
+    results = {}
+    for name in REGISTRY.names():
+        method = REGISTRY.create(name, target_density=0.5, **PREFIX_METHOD_KWARGS.get(name, {}))
+        if method.requires_calibration:
+            method.calibrate(model, calibration)
+        engine = SparseInferenceEngine(model, method)
+        width = 1 if method.requires_cache_state else max_batch_size
+
+        def serve(with_cache: bool):
+            engine.reset()
+            # Cache-state methods refuse a prefix cache (from_engine guard):
+            # their "cache on" run is the plain width-1 path, parity is trivial.
+            with_cache = with_cache and not method.requires_cache_state
+            cache = PrefixCache(64 * 1024 * 1024, block_size) if with_cache else None
+            batch = ContinuousBatch.from_engine(
+                engine, max_batch_size=width, max_seq_len=max_seq_len, prefix_cache=cache
+            )
+            return serve_continuous_greedy(batch, prompts, budgets), batch
+
+        served_off, _ = serve(False)
+        served_on, batch_on = serve(True)
+        parity = all(np.array_equal(a, b) for a, b in zip(served_off, served_on))
+        total = batch_on.prefill_tokens_total
+        saved_fraction = 1.0 - batch_on.prefill_tokens_forwarded / total if total else 0.0
+        t_off = _time(lambda: serve(False), repeats)
+        t_on = _time(lambda: serve(True), repeats)
+        results[name] = {
+            "parity": bool(parity),
+            "cache_enabled": not method.requires_cache_state,
+            "prefill_tokens_total": int(batch_on.prefill_tokens_total),
+            "prefill_tokens_forwarded": int(batch_on.prefill_tokens_forwarded),
+            "prefill_saved_fraction": float(saved_fraction),
+            "cache_off_seconds": t_off,
+            "cache_on_seconds": t_on,
+            "speedup": t_off / t_on,
+        }
+    return {
+        "model": MODEL_NAME,
+        "n_requests": int(n_requests),
+        "shared_prefix_tokens": int(shared_prefix),
+        "suffix_tokens": [int(s) for s in suffixes],
+        "max_new_tokens": budgets,
+        "max_batch_size": int(max_batch_size),
+        "block_size": int(block_size),
+        "repeats": int(repeats),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "methods": results,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true",
-                        help="exit non-zero if a perf gate fails (batched < sequential, or "
-                             f"continuous batching < {SERVING_SPEEDUP_GATE}x sequential serving)")
+                        help="exit non-zero if a perf gate fails (batched < sequential, "
+                             f"continuous batching < {SERVING_SPEEDUP_GATE}x sequential serving, "
+                             f"or prefix caching saving < {PREFIX_SAVED_GATE:.0%} of shared-head "
+                             "prefill forwards / breaking parity)")
     parser.add_argument("--fast", action="store_true", help="smaller workload for CI smoke runs")
     parser.add_argument("--output", type=Path, default=RESULT_PATH,
                         help=f"where to write the batched-inference record (default: {RESULT_PATH})")
     parser.add_argument("--serving-output", type=Path, default=SERVING_RESULT_PATH,
                         help=f"where to write the serving record (default: {SERVING_RESULT_PATH})")
+    parser.add_argument("--prefix-output", type=Path, default=PREFIX_RESULT_PATH,
+                        help=f"where to write the prefix-cache record (default: {PREFIX_RESULT_PATH})")
+    parser.add_argument("--output-dir", type=Path, default=None,
+                        help="directory receiving all BENCH_*.json records (overrides the "
+                             "individual --*output paths; used by the nightly trajectory job)")
     args = parser.parse_args(argv)
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        args.output = args.output_dir / RESULT_PATH.name
+        args.serving_output = args.output_dir / SERVING_RESULT_PATH.name
+        args.prefix_output = args.output_dir / PREFIX_RESULT_PATH.name
 
     payload = run(fast=args.fast)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -228,6 +345,25 @@ def main(argv=None) -> int:
         ok = False
         print(f"continuous batching speedup {continuous_speedup:.2f}x is below the "
               f"{SERVING_SPEEDUP_GATE}x gate", file=sys.stderr)
+
+    prefix = run_prefix_cache(fast=args.fast)
+    args.prefix_output.write_text(json.dumps(prefix, indent=2, sort_keys=True) + "\n")
+    print(f"\nprefix cache — {prefix['model']} ({prefix['n_requests']} requests sharing a "
+          f"{prefix['shared_prefix_tokens']}-token system prompt, block_size={prefix['block_size']})")
+    width = max(len(n) for n in prefix["methods"])
+    for name, row in prefix["methods"].items():
+        print(f"  {name:<{width}}  forwarded {row['prefill_tokens_forwarded']:5d}/"
+              f"{row['prefill_tokens_total']:5d} prompt tokens   "
+              f"saved {row['prefill_saved_fraction']:6.1%}   "
+              f"parity {'ok' if row['parity'] else 'FAIL'}")
+        if not row["parity"]:
+            ok = False
+            print(f"{name}: prefix caching changed greedy outputs", file=sys.stderr)
+        if row["cache_enabled"] and row["prefill_saved_fraction"] < PREFIX_SAVED_GATE:
+            ok = False
+            print(f"{name}: prefix cache saved {row['prefill_saved_fraction']:.1%} of prefill "
+                  f"forwards, below the {PREFIX_SAVED_GATE:.0%} gate", file=sys.stderr)
+    print(f"written to {args.prefix_output}")
 
     if args.check and not ok:
         print("FAIL: perf gate violated", file=sys.stderr)

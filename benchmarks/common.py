@@ -12,12 +12,11 @@ from __future__ import annotations
 import copy
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
 from repro.eval.accuracy import suite_accuracy, task_accuracy
 from repro.eval.harness import EvaluationSettings
-from repro.eval.perplexity import dense_perplexity, perplexity
+from repro.eval.perplexity import perplexity
 from repro.experiments.models import PreparedModel
 from repro.sparsity.registry import create_method
 from repro.training.distill import DistillationConfig, finetune_lora_distillation

@@ -15,7 +15,6 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.eval.harness import EvaluationSettings

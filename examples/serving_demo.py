@@ -6,6 +6,11 @@ threads (half of them streaming token-by-token), prints every result plus the
 ``/stats`` payload, and asserts that all requests completed and a tokens/sec
 figure was recorded — the same smoke contract the CI serving job relies on.
 
+The server binds port 0 so the OS assigns a free ephemeral port; every client
+reads the actual address back from ``BackgroundServer.url``.  The demo can
+therefore never collide with another listener (parallel CI jobs, a dev server
+on 8000, a second copy of itself).
+
 Run:  PYTHONPATH=src python examples/serving_demo.py
 Set REPRO_SERVING_DEMO_REQUESTS to change the client count (default 8).
 """
@@ -41,9 +46,14 @@ def make_session() -> SparseSession:
     )
 
 
+def _host_port(url: str) -> tuple:
+    host, _, port = url.removeprefix("http://").rpartition(":")
+    return host, int(port)
+
+
 def fire_request(url: str, index: int, results: list) -> None:
-    host, port = url.removeprefix("http://").split(":")
-    connection = http.client.HTTPConnection(host, int(port), timeout=120)
+    host, port = _host_port(url)
+    connection = http.client.HTTPConnection(host, port, timeout=120)
     stream = index % 2 == 0
     payload = {
         "prompt": [1 + index, 2, 3, 4][: 2 + index % 3],  # ragged prompt lengths
@@ -63,8 +73,11 @@ def fire_request(url: str, index: int, results: list) -> None:
 def main() -> None:
     session = make_session()
     print(f"Starting the serving front-end on the tiny model ({N_REQUESTS} concurrent clients)...")
-    with BackgroundServer(session, config=SchedulerConfig(max_batch_size=4, max_seq_len=64)) as background:
+    # port=0: let the OS pick a free port; clients read it from background.url.
+    config = SchedulerConfig(max_batch_size=4, max_seq_len=64)
+    with BackgroundServer(session, port=0, config=config) as background:
         url = background.url
+        print(f"  bound {url} (OS-assigned free port)")
         results: list = [None] * N_REQUESTS
         threads = [
             threading.Thread(target=fire_request, args=(url, i, results)) for i in range(N_REQUESTS)
@@ -78,8 +91,8 @@ def main() -> None:
             print(f"  request {index} [{result['mode']:>6}] prompt={result['prompt']} "
                   f"-> tokens={result['tokens']}")
 
-        host, port = url.removeprefix("http://").split(":")
-        connection = http.client.HTTPConnection(host, int(port), timeout=30)
+        host, port = _host_port(url)
+        connection = http.client.HTTPConnection(host, port, timeout=30)
         connection.request("GET", "/stats")
         stats = json.loads(connection.getresponse().read())
         connection.close()

@@ -12,7 +12,6 @@ The paper is explicit about overheads that are easy to forget:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
 
 from repro.nn.transformer import TransformerConfig
 from repro.utils.config import ConfigBase

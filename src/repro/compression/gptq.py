@@ -11,12 +11,11 @@ activations.  Quantization itself is uniform per-row blocks
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.compression.quantizer import QuantizationSpec, dequantize_uniform, quantize_tensor_uniform
-from repro.nn.linear import Linear
 from repro.nn.transformer import CausalLM
 from repro.sparsity.thresholding import collect_mlp_inputs
 from repro.utils.config import ConfigBase

@@ -12,10 +12,11 @@ produces identical masks batched and sequential.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.prefix_cache import PrefixCache, PrefixMatch
 from repro.nn.transformer import CausalLM, TransformerBlock, left_pad_ragged, MASKED_BIAS
 from repro.sparsity.base import MLPMasks, SparsityMethod, masks_mlp_density
 from repro.utils.numerics import logsumexp
@@ -365,6 +366,18 @@ class ContinuousBatch:
 
     This class is synchronous and deterministic — the asyncio request
     front-end over it lives in :mod:`repro.serving.scheduler`.
+
+    With a :class:`~repro.nn.prefix_cache.PrefixCache` attached, :meth:`admit`
+    consults it per prompt (longest-match lookup over whole blocks), seeds
+    the slot with the cached prefix K/V, prefills only the unseen suffix, and
+    publishes each newly prefilled prompt back to the cache.
+    ``prefill_tokens_total`` / ``prefill_tokens_forwarded`` count prompt
+    tokens admitted vs. actually forwarded, so callers can report savings.
+
+    Slots may carry a ``request_id`` and an absolute ``deadline`` (caller's
+    clock, e.g. ``time.perf_counter()``): :meth:`cancel` frees a slot by
+    request id, :meth:`expired` lists slots past their deadline — the
+    lifecycle hooks the serving scheduler enforces timeouts with.
     """
 
     def __init__(
@@ -374,6 +387,7 @@ class ContinuousBatch:
         max_batch_size: int = 8,
         max_seq_len: Optional[int] = None,
         pad_id: int = 0,
+        prefix_cache: Optional[PrefixCache] = None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -382,8 +396,13 @@ class ContinuousBatch:
         self.max_batch_size = max_batch_size
         self.max_seq_len = max_seq_len if max_seq_len is not None else model.config.max_seq_len
         self.pad_id = pad_id
+        self.prefix_cache = prefix_cache
         self.caches = model.new_kv_caches(self.max_seq_len, batch_size=max_batch_size)
         self.occupied = np.zeros(max_batch_size, dtype=bool)
+        self.slot_request_ids: dict = {}  # slot -> request id
+        self.slot_deadlines: dict = {}  # slot -> absolute deadline
+        self.prefill_tokens_total = 0
+        self.prefill_tokens_forwarded = 0
 
     @classmethod
     def from_engine(cls, engine: SparseInferenceEngine, **kwargs) -> "ContinuousBatch":
@@ -392,14 +411,22 @@ class ContinuousBatch:
         Methods whose masks depend on a cache state (DIP-CA) define token
         order as part of the method; batched continuous decode would change
         their masks, so they are only accepted at ``max_batch_size=1``
-        (which is how the serving scheduler degrades for them).
+        (which is how the serving scheduler degrades for them) — and a
+        prefix cache is refused outright, because skipping the prefix
+        forward would change the method's cache-state evolution.
         """
-        if engine.method.requires_cache_state and kwargs.get("max_batch_size", 8) > 1:
-            raise ValueError(
-                f"method '{engine.method.name}' requires cache state (token order is part of "
-                "the method); continuous batching would change its masks — use "
-                "max_batch_size=1 or engine.generate_batch's sequential fallback"
-            )
+        if engine.method.requires_cache_state:
+            if kwargs.get("max_batch_size", 8) > 1:
+                raise ValueError(
+                    f"method '{engine.method.name}' requires cache state (token order is part of "
+                    "the method); continuous batching would change its masks — use "
+                    "max_batch_size=1 or engine.generate_batch's sequential fallback"
+                )
+            if kwargs.get("prefix_cache") is not None:
+                raise ValueError(
+                    f"method '{engine.method.name}' requires cache state; prefix caching would "
+                    "skip prefix tokens and change the method's masks"
+                )
         return cls(engine.model, mlp_override=engine.mlp_override, **kwargs)
 
     # ------------------------------------------------------------- slot state
@@ -417,42 +444,157 @@ class ContinuousBatch:
         return int(self.caches[0].lengths[slot])
 
     # ------------------------------------------------------------- operations
-    def admit(self, prompts: Sequence[np.ndarray]) -> Tuple[List[int], np.ndarray]:
-        """Prefill ragged prompts into free slots (one batched forward).
+    def admit(
+        self,
+        prompts: Sequence[np.ndarray],
+        request_ids: Optional[Sequence[str]] = None,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        cache_prefix: Optional[Sequence[bool]] = None,
+    ) -> Tuple[List[int], np.ndarray]:
+        """Prefill ragged prompts into free slots.
 
         Returns ``(slots, logits)`` where ``slots[i]`` is the cache slot now
         holding ``prompts[i]`` and ``logits[i]`` are the last-position logits
         (the distribution of each prompt's first new token).
+
+        Prompts without a prefix-cache hit share one batched left-padded
+        forward (the PR-3 path).  With a :class:`PrefixCache` attached, each
+        hit prompt instead seeds a staging cache with the cached prefix K/V
+        and forwards *only its unseen suffix*; every prefilled prompt is then
+        published back to the cache (whole blocks only) so later admissions
+        can share its head.  ``cache_prefix[i]=False`` opts prompt ``i`` out
+        of both lookup and publication.
+
+        ``request_ids``/``deadlines`` attach per-slot lifecycle metadata for
+        :meth:`cancel` and :meth:`expired`.
         """
         prompts = [np.asarray(p, dtype=np.int64).reshape(-1) for p in prompts]
+        n = len(prompts)
         free = self.free_slots()
-        if len(prompts) > len(free):
-            raise ValueError(f"cannot admit {len(prompts)} prompts into {len(free)} free slots")
+        if n > len(free):
+            raise ValueError(f"cannot admit {n} prompts into {len(free)} free slots")
         for prompt in prompts:
             if len(prompt) >= self.max_seq_len:
                 raise ValueError(
                     f"prompt of {len(prompt)} tokens leaves no decode room in "
                     f"max_seq_len={self.max_seq_len}"
                 )
-        slots = free[: len(prompts)]
-        padded, position_ids, key_bias, _ = left_pad_ragged(prompts, self.pad_id)
-        longest = padded.shape[1]
-        staging = self.model.new_kv_caches(max_seq_len=longest, batch_size=len(prompts))
-        logits = self.model.forward_array(
-            padded,
-            kv_caches=staging,
-            mlp_override=self.mlp_override,
-            attention_mask=key_bias,
-            position_ids=position_ids,
-            last_only=True,
-        )
-        # Copy each prompt's K/V (skipping its pads) into its slot at 0..L-1.
+        for name, values in (("request_ids", request_ids), ("deadlines", deadlines),
+                             ("cache_prefix", cache_prefix)):
+            if values is not None and len(values) != n:
+                raise ValueError(f"{name} must have one entry per prompt")
+        slots = free[:n]
+
+        def wants_cache(i: int) -> bool:
+            return self.prefix_cache is not None and (cache_prefix is None or bool(cache_prefix[i]))
+
+        matches: List[Optional[PrefixMatch]] = [None] * n
+        for i, prompt in enumerate(prompts):
+            if wants_cache(i):
+                # Cap the match one token short: the last prompt token must be
+                # forwarded to produce the first sampled token's logits.
+                match = self.prefix_cache.lookup(prompt, max_length=len(prompt) - 1)
+                if match is not None:
+                    self.prefix_cache.acquire(match)
+                    matches[i] = match
+        logits_out = np.empty((n, self.model.config.vocab_size))
+        try:
+            fresh = [i for i in range(n) if matches[i] is None]
+            if fresh:
+                padded, position_ids, key_bias, _ = left_pad_ragged(
+                    [prompts[i] for i in fresh], self.pad_id
+                )
+                longest = padded.shape[1]
+                staging = self.model.new_kv_caches(max_seq_len=longest, batch_size=len(fresh))
+                logits = self.model.forward_array(
+                    padded,
+                    kv_caches=staging,
+                    mlp_override=self.mlp_override,
+                    attention_mask=key_bias,
+                    position_ids=position_ids,
+                    last_only=True,
+                )
+                # Copy each prompt's K/V (skipping its pads) into its slot at 0..L-1.
+                for row, i in enumerate(fresh):
+                    pad = longest - len(prompts[i])
+                    layer_keys = [staged.keys[row, :, pad:longest] for staged in staging]
+                    layer_values = [staged.values[row, :, pad:longest] for staged in staging]
+                    for cache, keys, values in zip(self.caches, layer_keys, layer_values):
+                        cache.insert_slot(slots[i], keys, values)
+                    if wants_cache(i):
+                        self.prefix_cache.insert(prompts[i], layer_keys, layer_values)
+                    logits_out[i] = logits[row, -1]
+                    self.prefill_tokens_total += len(prompts[i])
+                    self.prefill_tokens_forwarded += len(prompts[i])
+            # Hit prompts prefill only their unseen suffixes, batched per
+            # matched prefix length (shared-head traffic matches one length,
+            # so steady state is one forward): each staging row is seeded
+            # with its own prefix K/V at 0..P-1, ragged suffixes are
+            # left-padded behind the prefix exactly like a normal ragged
+            # prefill — pad keys masked, per-row RoPE positions at offset P.
+            by_length: dict = {}
+            for i, match in enumerate(matches):
+                if match is not None:
+                    by_length.setdefault(match.length, []).append(i)
+            for prefix_len, hits in by_length.items():
+                suffixes = [prompts[i][prefix_len:] for i in hits]
+                padded, suffix_positions, suffix_bias, lengths = left_pad_ragged(
+                    suffixes, self.pad_id
+                )
+                widest = padded.shape[1]
+                staging = self.model.new_kv_caches(
+                    max_seq_len=prefix_len + widest, batch_size=len(hits)
+                )
+                assembled = {i: matches[i].assemble() for i in hits}
+                for layer, staged in enumerate(staging):
+                    for row, i in enumerate(hits):
+                        keys, values = assembled[i][layer]
+                        staged.keys[row, :, :prefix_len] = keys
+                        staged.values[row, :, :prefix_len] = values
+                    staged.length = prefix_len
+                    staged.lengths[:] = prefix_len
+                key_bias = np.concatenate(
+                    [np.zeros((len(hits), prefix_len)), suffix_bias], axis=1
+                )
+                logits = self.model.forward_array(
+                    padded,
+                    kv_caches=staging,
+                    mlp_override=self.mlp_override,
+                    attention_mask=key_bias,
+                    position_ids=prefix_len + suffix_positions,
+                    last_only=True,
+                )
+                for row, i in enumerate(hits):
+                    total = len(prompts[i])
+                    pad = widest - int(lengths[row])
+                    for cache, staged, (keys, values) in zip(self.caches, staging, assembled[i]):
+                        cache.insert_slot(
+                            slots[i],
+                            staged.keys[row, :, prefix_len + pad : prefix_len + widest],
+                            staged.values[row, :, prefix_len + pad : prefix_len + widest],
+                            prefix=(keys, values),
+                        )
+                    # Publish from the slot: it now holds the contiguous
+                    # prefix + suffix K/V at 0..L-1 (insert copies them).
+                    self.prefix_cache.insert(
+                        prompts[i],
+                        [cache.keys[slots[i], :, :total] for cache in self.caches],
+                        [cache.values[slots[i], :, :total] for cache in self.caches],
+                    )
+                    logits_out[i] = logits[row, -1]
+                    self.prefill_tokens_total += total
+                    self.prefill_tokens_forwarded += total - prefix_len
+        finally:
+            for match in matches:
+                if match is not None:
+                    self.prefix_cache.release(match)
         for i, slot in enumerate(slots):
-            pad = longest - len(prompts[i])
-            for cache, staged in zip(self.caches, staging):
-                cache.insert_slot(slot, staged.keys[i, :, pad:longest], staged.values[i, :, pad:longest])
             self.occupied[slot] = True
-        return slots, logits[:, -1, :]
+            if request_ids is not None and request_ids[i]:
+                self.slot_request_ids[slot] = request_ids[i]
+            if deadlines is not None and deadlines[i] is not None:
+                self.slot_deadlines[slot] = float(deadlines[i])
+        return slots, logits_out
 
     def step(self, slots: Sequence[int], tokens: Sequence[int]) -> np.ndarray:
         """Decode one token per slot in lock-step; returns next-token logits.
@@ -484,15 +626,48 @@ class ContinuousBatch:
 
     def evict(self, slot: int) -> None:
         """Retire a finished sequence and free its KV-cache slot."""
+        slot = int(slot)
         for cache in self.caches:
-            cache.evict_slot(int(slot))
-        self.occupied[int(slot)] = False
+            cache.evict_slot(slot)
+        self.occupied[slot] = False
+        self.slot_request_ids.pop(slot, None)
+        self.slot_deadlines.pop(slot, None)
+
+    def cancel(self, request_id: str) -> Optional[int]:
+        """Evict the slot serving ``request_id``; returns the freed slot.
+
+        Returns ``None`` when no occupied slot carries that request id (the
+        request already finished, was never admitted with an id, or the id is
+        unknown) — cancellation of a gone request is not an error.
+        """
+        for slot, rid in list(self.slot_request_ids.items()):
+            if rid == request_id:
+                self.evict(slot)
+                return slot
+        return None
+
+    def expired(self, now: float) -> List[Tuple[int, Optional[str]]]:
+        """Occupied ``(slot, request_id)`` pairs whose deadline is ≤ ``now``.
+
+        Deadlines are absolute values on whatever clock the caller passed to
+        :meth:`admit`.  The slots are *not* evicted — the caller decides (and
+        typically wants to retire its own request bookkeeping first).
+        """
+        return [
+            (slot, self.slot_request_ids.get(slot))
+            for slot, deadline in sorted(self.slot_deadlines.items())
+            if now >= deadline
+        ]
 
     def reset(self) -> None:
         """Evict everything (e.g. between benchmark runs)."""
         for cache in self.caches:
             cache.reset()
         self.occupied[:] = False
+        self.slot_request_ids.clear()
+        self.slot_deadlines.clear()
+        self.prefill_tokens_total = 0
+        self.prefill_tokens_forwarded = 0
 
 
 def serve_continuous_greedy(

@@ -13,7 +13,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.hwsim.device import DeviceSpec
 from repro.hwsim.memory import MethodMemoryModel, WeightMemoryLayout
@@ -21,7 +20,6 @@ from repro.hwsim.simulator import HWSimulator, SimulationConfig, SimulationResul
 from repro.hwsim.trace import SyntheticTraceConfig, synthesize_trace
 from repro.nn.model_zoo import ModelSpec
 from repro.sparsity.base import SparsityMethod
-from repro.utils.config import ConfigBase
 
 
 @dataclasses.dataclass

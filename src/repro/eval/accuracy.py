@@ -8,7 +8,7 @@ model's answer.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

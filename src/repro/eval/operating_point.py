@@ -11,11 +11,10 @@ the highest simulated throughput.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.utils.config import ConfigBase
 
 
 @dataclasses.dataclass

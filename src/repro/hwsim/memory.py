@@ -18,7 +18,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.nn.transformer import TransformerConfig
 from repro.sparsity.base import SparsityMethod

@@ -15,7 +15,7 @@ ignored, as Flash bandwidth is 60x smaller and dominates miss cost.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

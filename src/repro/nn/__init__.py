@@ -13,6 +13,7 @@ from repro.nn.norm import RMSNorm, LayerNorm
 from repro.nn.activations import SiLU, ReLU, GELU, Identity, get_activation
 from repro.nn.mlp import GLUMLPConfig, SwiGLUMLP, ReLUGLUMLP, DenseMLP
 from repro.nn.attention import AttentionConfig, GroupedQueryAttention, KVCache, RotaryEmbedding
+from repro.nn.prefix_cache import PrefixCache, PrefixMatch
 from repro.nn.transformer import TransformerConfig, TransformerBlock, CausalLM
 from repro.nn.model_zoo import (
     ModelSpec,
@@ -43,6 +44,8 @@ __all__ = [
     "AttentionConfig",
     "GroupedQueryAttention",
     "KVCache",
+    "PrefixCache",
+    "PrefixMatch",
     "RotaryEmbedding",
     "TransformerConfig",
     "TransformerBlock",

@@ -160,22 +160,66 @@ class KVCache:
         return k_all, v_all
 
     # ------------------------------------------------------------ slot-wise API
-    def insert_slot(self, slot: int, keys: np.ndarray, values: np.ndarray) -> None:
+    def insert_slot(
+        self,
+        slot: int,
+        keys: np.ndarray,
+        values: np.ndarray,
+        prefix: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
         """Prefill one cache slot with a sequence's K/V at positions ``0..L-1``.
 
         ``keys``/``values`` have shape ``(n_kv_heads, L, head_dim)``.  The
         slot's tail past ``L`` is zeroed so a re-used slot never exposes a
         previous occupant's K/V to an under-masked consumer.
+
+        ``prefix`` is an optional ``(keys, values)`` pair of shape
+        ``(n_kv_heads, P, head_dim)`` — a prefix-cache hit — copied in at
+        positions ``0..P-1``; ``keys``/``values`` then hold only the unseen
+        suffix and land at ``P..P+L-1``.  Keys in this codebase are
+        RoPE-rotated at absolute positions starting from 0 in every slot, so
+        cached prefix keys are valid verbatim for any sequence sharing the
+        prefix.
         """
-        length = keys.shape[1]
+        start = 0
+        if prefix is not None:
+            prefix_keys, prefix_values = prefix
+            start = prefix_keys.shape[1]
+            if start + keys.shape[1] > self.max_seq_len:
+                raise RuntimeError("KV cache overflow")
+            self.keys[slot, :, :start] = prefix_keys
+            self.values[slot, :, :start] = prefix_values
+        length = start + keys.shape[1]
         if length > self.max_seq_len:
             raise RuntimeError("KV cache overflow")
-        self.keys[slot, :, :length] = keys
+        self.keys[slot, :, start:length] = keys
         self.keys[slot, :, length:] = 0.0
-        self.values[slot, :, :length] = values
+        self.values[slot, :, start:length] = values
         self.values[slot, :, length:] = 0.0
         self.lengths[slot] = length
         self.length = int(self.lengths.max())
+
+    def seed(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Pre-load cached K/V for ``P`` tokens so :meth:`append` continues at ``P``.
+
+        ``keys``/``values`` have shape ``(n_kv_heads, P, head_dim)`` (or a
+        leading batch axis matching the cache).  This is the prefix-cache
+        prefill path: the cache behaves exactly as if those ``P`` tokens had
+        just been forwarded, so a subsequent forward of the suffix attends
+        the seeded prefix and picks up RoPE positions at offset ``P``.
+        """
+        if keys.ndim == 3:
+            keys = keys[None]
+            values = values[None]
+        if keys.shape[0] != self.batch_size:
+            raise ValueError(f"cache holds batch_size={self.batch_size} but got batch {keys.shape[0]}")
+        length = keys.shape[2]
+        if length > self.max_seq_len:
+            raise RuntimeError("KV cache overflow")
+        self.keys[:, :, :length] = keys
+        self.values[:, :, :length] = values
+        self.length = length
+        self.lengths[:] = length
 
     def evict_slot(self, slot: int) -> None:
         """Free one cache slot (its K/V become dead; masks must hide it)."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+from typing import Any, Mapping, Optional, Tuple, Type, TypeVar
 
 from repro.data.tasks import TASK_NAMES
 from repro.experiments.models import PreparationConfig

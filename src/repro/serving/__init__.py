@@ -10,7 +10,11 @@ request-driven service:
   asyncio event loop over the slot-wise
   :class:`~repro.engine.inference.ContinuousBatch` decode core: sequences
   retire the moment they finish and queued ragged prompts are admitted into
-  the freed KV-cache slots.
+  the freed KV-cache slots.  Hardened with per-request lifecycle control —
+  ``timeout_s`` deadlines (queued or mid-decode), :meth:`cancel`, dropped
+  streams cancelling server-side — and a
+  :class:`~repro.nn.prefix_cache.PrefixCache` so requests sharing a prompt
+  head (system prompts) prefill only their unseen suffix.
 * :mod:`repro.serving.pool` — :class:`SessionPool`, calibrate once and fan
   out per-worker :class:`~repro.pipeline.session.SparseSession` clones.
 * :mod:`repro.serving.server` — a stdlib asyncio HTTP front-end

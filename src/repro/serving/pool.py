@@ -80,14 +80,19 @@ class SessionPool:
 
     # ------------------------------------------------------------------- stats
     def stats(self) -> Dict[str, object]:
+        # One consistent snapshot: free/peak/acquired are read under the same
+        # lock acquire/release mutate them under, so /stats never reports an
+        # in_use count that disagrees with acquired_total mid-checkout.
         with self._condition:
             free = len(self._free)
+            peak = self._peak_in_use
+            acquired = self._acquired_total
         return {
             "size": self.size,
             "free": free,
             "in_use": self.size - free,
-            "peak_in_use": self._peak_in_use,
-            "acquired_total": self._acquired_total,
+            "peak_in_use": peak,
+            "acquired_total": acquired,
             "method": self.base.method.name,
             "model": self.base.model_name,
         }

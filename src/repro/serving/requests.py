@@ -58,6 +58,13 @@ class GenerationRequest:
     ``arrival_time`` is stamped at submission when left at ``0.0``.  ``seed``
     feeds the per-request sampling RNG (irrelevant for greedy decoding,
     ``temperature == 0``, which is also the bit-reproducible mode).
+
+    Lifecycle knobs: ``timeout_s`` is a wall-clock budget measured from
+    submission — a request past its deadline is retired (queued or
+    mid-decode, freeing its KV slot immediately) with
+    ``finish_reason="timeout"`` and whatever tokens it produced.
+    ``cache_prefix=False`` opts this request out of the scheduler's prefix
+    cache (no shared-head reuse, no publication of its prompt).
     """
 
     prompt: Tuple[int, ...]
@@ -66,6 +73,8 @@ class GenerationRequest:
     request_id: str = ""
     arrival_time: float = 0.0
     seed: Optional[int] = None
+    timeout_s: Optional[float] = None
+    cache_prefix: bool = True
 
     def __post_init__(self):
         try:
@@ -86,6 +95,14 @@ class GenerationRequest:
         object.__setattr__(self, "max_new_tokens", max_new_tokens)
         _check(temperature >= 0.0, "request.temperature must be non-negative")
         object.__setattr__(self, "temperature", temperature)
+        if self.timeout_s is not None:
+            try:
+                timeout_s = float(self.timeout_s)
+            except (TypeError, ValueError) as exc:
+                raise RequestError(f"request.timeout_s must be numeric or null: {exc}") from exc
+            _check(timeout_s > 0.0, "request.timeout_s must be positive (or null for no deadline)")
+            object.__setattr__(self, "timeout_s", timeout_s)
+        object.__setattr__(self, "cache_prefix", bool(self.cache_prefix))
 
     def prompt_array(self) -> np.ndarray:
         return np.asarray(self.prompt, dtype=np.int64)
@@ -118,6 +135,12 @@ class GenerationResult:
     :meth:`full_sequence` prepends the prompt.  Timing fields are filled by
     the scheduler: ``queued_seconds`` (arrival → first prefill) and
     ``decode_seconds`` (prefill start → last token).
+
+    ``finish_reason`` says why generation stopped: ``"length"`` (the
+    ``max_new_tokens`` budget completed), ``"timeout"`` (the request's
+    ``timeout_s`` deadline passed — ``tokens`` holds the partial
+    continuation), or ``"cancelled"`` (explicitly cancelled, e.g. the
+    streaming client disconnected).
     """
 
     request_id: str

@@ -10,9 +10,17 @@ never waits for equal-length batches.
 Determinism contract: with greedy decoding (``temperature == 0``) every
 request's tokens are identical to a one-at-a-time
 :meth:`~repro.engine.inference.SparseInferenceEngine.generate` call,
-regardless of arrival order, admission policy, or batch composition.
+regardless of arrival order, admission policy, or batch composition — and
+regardless of whether the prefix cache served any of the prompt heads.
 Sampled decoding draws from a per-request RNG (``request.seed``), so a
 request's draws do not depend on its batch neighbours either.
+
+Lifecycle control: a request with ``timeout_s`` is retired the moment its
+deadline passes — still queued or mid-decode (its KV slot is freed
+immediately and handed to the next queued request) — finishing with
+``finish_reason="timeout"`` and its partial tokens.  :meth:`cancel` does the
+same on demand (``finish_reason="cancelled"``); the HTTP server calls it
+when a streaming client disconnects.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from typing import AsyncIterator, Dict, List, Optional
 import numpy as np
 
 from repro.engine.inference import ContinuousBatch
+from repro.nn.prefix_cache import PrefixCache
 from repro.nn.transformer import _sample_token
 from repro.pipeline.session import SparseSession
 from repro.serving.requests import GenerationRequest, GenerationResult, RequestError
@@ -54,6 +63,12 @@ class SchedulerConfig:
     max_seq_len: Optional[int] = None
     #: Token id used for left-padding ragged admission prefills.
     pad_id: int = 0
+    #: Byte budget of the shared-prompt-head prefix cache; ``0`` disables it.
+    #: (Also disabled automatically for cache-state methods, whose masks
+    #: depend on token order.)
+    prefix_cache_bytes: int = 32 * 1024 * 1024
+    #: Token granularity of prefix sharing (trie block size).
+    prefix_block_size: int = 16
 
     def __post_init__(self):
         if self.max_batch_size <= 0:
@@ -62,13 +77,17 @@ class SchedulerConfig:
             raise ValueError("max_queue must be positive")
         if self.admission not in ADMISSION_POLICIES:
             raise ValueError(f"unknown admission policy '{self.admission}'; use {ADMISSION_POLICIES}")
+        if self.prefix_cache_bytes < 0:
+            raise ValueError("prefix_cache_bytes must be non-negative (0 disables the cache)")
+        if self.prefix_block_size <= 0:
+            raise ValueError("prefix_block_size must be positive")
 
 
 class _Entry:
     """Scheduler-side state of one in-flight request."""
 
     __slots__ = ("request", "rng", "tokens", "stream", "slot", "last_token", "error",
-                 "submitted_at", "started_at", "finished_at")
+                 "submitted_at", "started_at", "finished_at", "deadline", "finish_reason")
 
     def __init__(self, request: GenerationRequest):
         self.request = request
@@ -80,19 +99,31 @@ class _Entry:
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self.deadline: Optional[float] = (
+            self.submitted_at + request.timeout_s if request.timeout_s is not None else None
+        )
+        self.finish_reason = "length"
 
     @property
     def remaining(self) -> int:
         return self.request.max_new_tokens - len(self.tokens)
 
     def result(self) -> GenerationResult:
+        # A request retired while still queued (timeout/cancel before
+        # admission) spent its whole life waiting: attribute that to
+        # queued_seconds, not decode_seconds.
+        end = self.finished_at if self.finished_at is not None else self.submitted_at
+        if self.started_at is None:
+            queued, decode = end - self.submitted_at, 0.0
+        else:
+            queued, decode = self.started_at - self.submitted_at, end - self.started_at
         return GenerationResult(
             request_id=self.request.request_id,
             prompt=self.request.prompt,
             tokens=tuple(self.tokens),
-            finish_reason="length",
-            queued_seconds=(self.started_at or self.submitted_at) - self.submitted_at,
-            decode_seconds=(self.finished_at or self.submitted_at) - (self.started_at or self.submitted_at),
+            finish_reason=self.finish_reason,
+            queued_seconds=queued,
+            decode_seconds=decode,
         )
 
 
@@ -114,6 +145,11 @@ class TokenStream:
     @property
     def request_id(self) -> str:
         return self._entry.request.request_id
+
+    @property
+    def finish_reason(self) -> str:
+        """Why the stream ended (meaningful once iteration completes)."""
+        return self._entry.finish_reason
 
     def __aiter__(self) -> AsyncIterator[int]:
         return self._drain()
@@ -151,12 +187,20 @@ class ContinuousBatchingScheduler:
         session.calibrate()
         self._sequential_method = bool(session.method.requires_cache_state)
         width = 1 if self._sequential_method else self.config.max_batch_size
+        # Prefix caching is skipped for cache-state methods: reusing a head's
+        # K/V would skip the prefix forward and change the method's masks.
+        self.prefix_cache: Optional[PrefixCache] = None
+        if not self._sequential_method and self.config.prefix_cache_bytes > 0:
+            self.prefix_cache = PrefixCache(
+                self.config.prefix_cache_bytes, self.config.prefix_block_size
+            )
         self.batch = ContinuousBatch(
             session.engine.model,
             mlp_override=session.engine.mlp_override,
             max_batch_size=width,
             max_seq_len=self.config.max_seq_len,
             pad_id=self.config.pad_id,
+            prefix_cache=self.prefix_cache,
         )
         self._waiting: List[_Entry] = []
         self._active: Dict[int, _Entry] = {}  # slot -> entry
@@ -168,6 +212,8 @@ class ContinuousBatchingScheduler:
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._timed_out = 0
+        self._cancelled = 0
         self._tokens_generated = 0
         self._steps = 0
         self._step_slots = 0
@@ -264,10 +310,69 @@ class ContinuousBatchingScheduler:
                 f"request {entry.request.request_id} failed: {entry.error}"
             ) from entry.error
 
+    # ------------------------------------------------------------ cancellation
+    def cancel(self, request_id: str) -> bool:
+        """Retire a queued or in-flight request with ``finish_reason="cancelled"``.
+
+        Frees the request's KV slot immediately (mid-decode cancellation) so
+        the next queued request can be admitted.  Returns ``False`` when the
+        id is unknown or the request already finished — cancelling a gone
+        request is a no-op, not an error (the HTTP server calls this whenever
+        a streaming client disconnects, finished or not).
+        """
+        for index, entry in enumerate(self._waiting):
+            if entry.request.request_id == request_id:
+                del self._waiting[index]
+                self._cancelled += 1
+                self._retire(entry, "cancelled")
+                return True
+        for entry in list(self._active.values()):
+            if entry.request.request_id == request_id:
+                self._cancelled += 1
+                self._retire(entry, "cancelled")
+                return True
+        return False
+
+    def _retire(self, entry: _Entry, reason: str) -> None:
+        """Finish ``entry`` with ``reason``, freeing its slot if it has one."""
+        entry.finish_reason = reason
+        entry.finished_at = time.perf_counter()
+        if entry.slot is not None and entry.slot in self._active:
+            self.batch.evict(entry.slot)
+            del self._active[entry.slot]
+        entry.stream.put_nowait(_DONE)
+
+    def _expire_deadlines(self) -> None:
+        """Retire every queued or active request whose deadline has passed."""
+        now = time.perf_counter()
+        overdue = [e for e in self._waiting if e.deadline is not None and now >= e.deadline]
+        if overdue:
+            self._waiting = [e for e in self._waiting if e not in overdue]
+            for entry in overdue:
+                self._timed_out += 1
+                self._retire(entry, "timeout")
+        for slot, request_id in self.batch.expired(now):
+            entry = self._active.get(slot)
+            if entry is None:  # pragma: no cover - defensive (metadata drift)
+                self.batch.evict(slot)
+                continue
+            logger.info("request %s timed out after %d token(s); freeing slot %d",
+                        request_id, len(entry.tokens), slot)
+            self._timed_out += 1
+            self._retire(entry, "timeout")
+
     # ------------------------------------------------------------------- stats
     def stats(self) -> Dict[str, object]:
         """Live scheduler metrics (the server's ``/stats`` payload)."""
         busy = self._busy_seconds
+        prefix: Dict[str, object] = {"enabled": self.prefix_cache is not None}
+        if self.prefix_cache is not None:
+            prefix.update(self.prefix_cache.stats())
+        prefix["prefill_tokens_total"] = self.batch.prefill_tokens_total
+        prefix["prefill_tokens_forwarded"] = self.batch.prefill_tokens_forwarded
+        prefix["prefill_tokens_saved"] = (
+            self.batch.prefill_tokens_total - self.batch.prefill_tokens_forwarded
+        )
         return {
             "queue_depth": len(self._waiting),
             "active_requests": len(self._active),
@@ -277,11 +382,14 @@ class ContinuousBatchingScheduler:
             "requests_submitted": self._submitted,
             "requests_completed": self._completed,
             "requests_failed": self._failed,
+            "requests_timed_out": self._timed_out,
+            "requests_cancelled": self._cancelled,
             "tokens_generated": self._tokens_generated,
             "decode_steps": self._steps,
             "busy_seconds": busy,
             "tokens_per_second": (self._tokens_generated / busy) if busy > 0 else 0.0,
             "sequential_method": self._sequential_method,
+            "prefix_cache": prefix,
         }
 
     # -------------------------------------------------------------- decode loop
@@ -299,22 +407,15 @@ class ContinuousBatchingScheduler:
         entry.stream.put_nowait(token)
         self._tokens_generated += 1
         if entry.remaining <= 0:
-            entry.finished_at = time.perf_counter()
-            self.batch.evict(entry.slot)
-            del self._active[entry.slot]
             self._completed += 1
-            entry.stream.put_nowait(_DONE)
+            self._retire(entry, "length")
 
     def _fail_entries(self, entries: List[_Entry], error: BaseException) -> None:
         """Retire entries with an error so their awaiters never hang."""
         for entry in entries:
             entry.error = error
-            entry.finished_at = time.perf_counter()
-            if entry.slot is not None and entry.slot in self._active:
-                self.batch.evict(entry.slot)
-                del self._active[entry.slot]
             self._failed += 1
-            entry.stream.put_nowait(_DONE)
+            self._retire(entry, "error")
 
     def _admit(self) -> None:
         n_free = len(self.batch.free_slots())
@@ -325,7 +426,12 @@ class ContinuousBatchingScheduler:
             self.session.method.reset()
         now = time.perf_counter()
         try:
-            slots, logits = self.batch.admit([e.request.prompt_array() for e in entries])
+            slots, logits = self.batch.admit(
+                [e.request.prompt_array() for e in entries],
+                request_ids=[e.request.request_id for e in entries],
+                deadlines=[e.deadline for e in entries],
+                cache_prefix=[e.request.cache_prefix for e in entries],
+            )
         except Exception as exc:
             logger.exception("admission failed; failing %d request(s)", len(entries))
             self._fail_entries(entries, exc)
@@ -366,6 +472,7 @@ class ContinuousBatchingScheduler:
                 await self._wake.wait()
                 continue
             started = time.perf_counter()
+            self._expire_deadlines()
             self._admit()
             self._step()
             self._busy_seconds += time.perf_counter() - started

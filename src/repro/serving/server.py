@@ -200,11 +200,17 @@ class ServingServer:
                 _write_chunk(writer, (json.dumps({"index": index, "token": token}) + "\n").encode())
                 await writer.drain()
                 index += 1
+            final["finish_reason"] = token_stream.finish_reason
         except RuntimeError as exc:
             # Server-side decode failure after the chunked response started:
             # surface it as a terminal error line, never as a second HTTP head.
             final = {"done": True, "request_id": token_stream.request_id,
                      "error": str(exc), "tokens": tokens}
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            # The client dropped the stream (or the server is shutting the
+            # handler down): stop decoding for it and free its KV slot now.
+            self.scheduler.cancel(token_stream.request_id)
+            raise
         _write_chunk(writer, (json.dumps(final, sort_keys=True) + "\n").encode())
         _write_chunk(writer, b"")  # terminal chunk
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.nn.mlp import SwiGLUMLP
 from repro.nn.transformer import CausalLM
 from repro.sparsity.base import MLPMasks, SparsityMethod
-from repro.sparsity.thresholding import collect_glu_activations, collect_mlp_inputs
+from repro.sparsity.thresholding import collect_mlp_inputs
 
 
 class CATS(SparsityMethod):

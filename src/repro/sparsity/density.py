@@ -17,7 +17,7 @@ the fitting machinery used to regenerate Figures 12 and 13.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

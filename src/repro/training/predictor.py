@@ -10,7 +10,7 @@ calibration set.  At inference the top-k neurons by predictor logit are kept.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List
 
 import numpy as np
 

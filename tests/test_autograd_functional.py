@@ -94,7 +94,7 @@ class TestCrossEntropy:
     def test_gradient(self):
         logits = leaf((4, 6))
         targets = np.array([0, 2, 5, 1])
-        check_gradients(lambda l: F.cross_entropy(l, targets), [logits])
+        check_gradients(lambda lg: F.cross_entropy(lg, targets), [logits])
 
     def test_ignore_index(self):
         logits = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
@@ -113,14 +113,14 @@ class TestCrossEntropy:
         targets = np.array([[0, 1, 2], [3, 4, 0]])
         loss = F.cross_entropy(logits, targets)
         assert loss.size == 1
-        check_gradients(lambda l: F.cross_entropy(l, targets), [logits])
+        check_gradients(lambda lg: F.cross_entropy(lg, targets), [logits])
 
 
 class TestOtherLosses:
     def test_bce_with_logits_gradient(self):
         logits = leaf((4, 3))
         targets = (np.random.default_rng(0).random((4, 3)) > 0.5).astype(float)
-        check_gradients(lambda l: F.binary_cross_entropy_with_logits(l, targets), [logits], atol=1e-4)
+        check_gradients(lambda lg: F.binary_cross_entropy_with_logits(lg, targets), [logits], atol=1e-4)
 
     def test_bce_perfect_prediction_small_loss(self):
         logits = Tensor(np.array([[20.0, -20.0]]))

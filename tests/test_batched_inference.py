@@ -208,8 +208,8 @@ class TestRaggedBucketing:
         for b, r in zip(bucketed, reference):
             assert np.array_equal(b.down_mask, r.down_mask)
             assert np.array_equal(b.input_mask, r.input_mask)
-        for l, r in zip(looped, reference):
-            assert np.array_equal(l.down_mask, r.down_mask)
+        for looped_mask, r in zip(looped, reference):
+            assert np.array_equal(looped_mask.down_mask, r.down_mask)
 
     def test_batch_size_one_matches_default(self, trained_tiny_model, eval_sequences):
         engine = SparseInferenceEngine(trained_tiny_model, REGISTRY.create("dense"))

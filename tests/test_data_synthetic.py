@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.synthetic import SyntheticCorpus, SyntheticCorpusConfig, generate_corpus
+from repro.data.synthetic import SyntheticCorpusConfig, generate_corpus
 
 
 class TestConfig:

@@ -1,9 +1,8 @@
 """Tests for the weight memory layout and method memory models."""
 
-import numpy as np
 import pytest
 
-from repro.hwsim.memory import MethodMemoryModel, WeightGroup, WeightMemoryLayout, build_layout
+from repro.hwsim.memory import MethodMemoryModel, WeightGroup, build_layout
 from repro.nn.model_zoo import get_model_spec
 from repro.sparsity.dip import DynamicInputPruning
 from repro.sparsity.gate_pruning import UpPruning

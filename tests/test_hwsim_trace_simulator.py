@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.engine.inference import SparseInferenceEngine
-from repro.hwsim.device import APPLE_A18, DeviceSpec
+from repro.hwsim.device import DeviceSpec
 from repro.hwsim.memory import build_layout
 from repro.hwsim.simulator import HWSimulator, SimulationConfig, simulate_dense_baseline
 from repro.hwsim.trace import AccessTrace, GroupTrace, SyntheticTraceConfig, synthesize_trace, trace_from_masks

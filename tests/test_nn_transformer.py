@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autograd.tensor import Tensor
 from repro.nn.transformer import CausalLM, TransformerConfig
 
 
@@ -92,7 +91,9 @@ class TestCausalLM:
 
     def test_mlp_override_training_path(self, tiny_model, tiny_config):
         ids = np.random.default_rng(6).integers(0, tiny_config.vocab_size, size=(1, 6))
-        override = lambda block, x: block.mlp(x) * 0.0
+        def override(block, x):
+            return block.mlp(x) * 0.0
+
         logits = tiny_model.forward(ids, mlp_override=override)
         assert logits.shape == (1, 6, tiny_config.vocab_size)
 

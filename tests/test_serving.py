@@ -13,7 +13,10 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import socket
+import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -91,6 +94,19 @@ class TestPayloads:
             GenerationRequest(prompt=5)
         with pytest.raises(RequestError, match="must be numeric"):
             GenerationRequest(prompt=(1, 2), max_new_tokens="many")
+
+    def test_lifecycle_fields_round_trip_and_validate(self):
+        request = GenerationRequest(prompt=(1, 2), timeout_s=2.5, cache_prefix=False)
+        assert request.timeout_s == 2.5 and request.cache_prefix is False
+        assert GenerationRequest.from_json(request.to_json()) == request
+        assert GenerationRequest(prompt=(1,)).timeout_s is None  # default: no deadline
+        assert GenerationRequest(prompt=(1,)).cache_prefix is True
+        with pytest.raises(RequestError, match="timeout_s must be positive"):
+            GenerationRequest(prompt=(1,), timeout_s=0)
+        with pytest.raises(RequestError, match="timeout_s must be positive"):
+            GenerationRequest(prompt=(1,), timeout_s=-1.0)
+        with pytest.raises(RequestError, match="timeout_s must be numeric"):
+            GenerationRequest(prompt=(1,), timeout_s="soon")
 
     def test_result_round_trip_and_full_sequence(self):
         result = GenerationResult(request_id="r", prompt=(1, 2), tokens=(7, 8, 9))
@@ -571,3 +587,251 @@ class TestServingServer:
         payload = {"prompt": list(range(1, 60)), "max_new_tokens": 60, "stream": True}
         status, body = self._post(server, "/generate", payload)
         assert status == 400 and "max_seq_len" in json.loads(body)["error"]
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle control: deadlines, cancellation, prefix caching in the scheduler
+# ---------------------------------------------------------------------------
+
+
+def _slow_down_steps(scheduler, seconds: float = 0.005):
+    """Make each decode step take at least ``seconds`` (deterministic timing)."""
+    original = scheduler.batch.step
+
+    def slow_step(slots, tokens):
+        time.sleep(seconds)
+        return original(slots, tokens)
+
+    scheduler.batch.step = slow_step
+
+
+class TestSchedulerLifecycle:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_deadline_evicts_mid_decode_and_readmits_queued(self, tiny_session):
+        """The acceptance path: a timed-out request frees its slot, a queued
+        request takes it over, and the loop keeps serving."""
+
+        async def serve():
+            config = SchedulerConfig(max_batch_size=1, max_seq_len=48)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                _slow_down_steps(sched)
+                slow = asyncio.ensure_future(sched.submit(
+                    GenerationRequest(prompt=(1, 2, 3), max_new_tokens=40, timeout_s=0.03)
+                ))
+                await asyncio.sleep(0)  # let the slow request enqueue first
+                queued = asyncio.ensure_future(sched.submit(
+                    GenerationRequest(prompt=(4, 5, 6), max_new_tokens=3)
+                ))
+                return await slow, await queued, sched.stats()
+
+        slow, queued, stats = self._run(serve())
+        assert slow.finish_reason == "timeout"
+        assert 0 < slow.n_generated < 40  # partial continuation, not the full budget
+        assert queued.finish_reason == "length" and queued.n_generated == 3
+        tiny_session.calibrate()
+        expected = tiny_session.engine.generate(np.asarray([4, 5, 6]), 3, temperature=0.0)
+        assert np.array_equal(queued.full_sequence(), expected)
+        assert stats["requests_timed_out"] == 1
+        assert stats["requests_completed"] == 1
+        assert stats["active_requests"] == 0 and stats["batch_occupancy"] == 0.0
+
+    def test_queued_request_times_out_before_admission(self, tiny_session):
+        async def serve():
+            config = SchedulerConfig(max_batch_size=1, max_seq_len=48)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                _slow_down_steps(sched)
+                hog = asyncio.ensure_future(sched.submit(
+                    GenerationRequest(prompt=(1, 2, 3), max_new_tokens=30)
+                ))
+                await asyncio.sleep(0)
+                starved = await sched.submit(
+                    GenerationRequest(prompt=(7, 8), max_new_tokens=5, timeout_s=0.02)
+                )
+                return await hog, starved
+
+        hog, starved = self._run(serve())
+        assert hog.finish_reason == "length" and hog.n_generated == 30
+        assert starved.finish_reason == "timeout" and starved.n_generated == 0
+        assert starved.queued_seconds >= 0.0
+
+    def test_cancel_mid_stream_frees_slot_and_keeps_serving(self, tiny_session):
+        async def serve():
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                stream = sched.stream(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=50))
+                received = []
+                async for token in stream:
+                    received.append(token)
+                    if len(received) == 3:
+                        assert sched.cancel(stream.request_id)
+                # cancelling an unknown/finished request is a no-op
+                assert not sched.cancel(stream.request_id)
+                assert not sched.cancel("req-does-not-exist")
+                follow_up = await sched.submit(GenerationRequest(prompt=(4, 5), max_new_tokens=2))
+                return received, stream.finish_reason, follow_up, sched.stats()
+
+        received, reason, follow_up, stats = self._run(serve())
+        assert reason == "cancelled"
+        assert 3 <= len(received) < 50  # stopped early, well short of the budget
+        assert follow_up.finish_reason == "length" and follow_up.n_generated == 2
+        assert stats["requests_cancelled"] == 1
+        assert stats["active_requests"] == 0 and stats["batch_occupancy"] == 0.0
+
+    def test_cancel_queued_request(self, tiny_session):
+        async def serve():
+            config = SchedulerConfig(max_batch_size=1, max_seq_len=48)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                _slow_down_steps(sched)
+                hog = asyncio.ensure_future(sched.submit(
+                    GenerationRequest(prompt=(1, 2, 3), max_new_tokens=20)
+                ))
+                await asyncio.sleep(0)
+                waiting = sched.stream(GenerationRequest(prompt=(7, 8), max_new_tokens=5))
+                assert sched.cancel(waiting.request_id)
+                tokens = [t async for t in waiting]
+                return await hog, tokens, waiting.finish_reason
+
+        hog, tokens, reason = self._run(serve())
+        assert hog.n_generated == 20
+        assert tokens == [] and reason == "cancelled"
+
+    def test_prefix_cache_parity_and_stats(self, tiny_session, rng):
+        """Scheduler outputs are identical with the prefix cache on and off,
+        and /stats reports the hit rate and token savings."""
+        head = tuple(int(t) for t in rng.integers(0, 64, size=24))
+        prompts = [head + tuple(int(t) for t in rng.integers(0, 64, size=int(s)))
+                   for s in rng.integers(2, 7, size=8)]
+        budgets = [int(b) for b in rng.integers(2, 6, size=8)]
+
+        async def serve(prefix_cache_bytes):
+            config = SchedulerConfig(
+                max_batch_size=3, max_seq_len=64,
+                prefix_cache_bytes=prefix_cache_bytes, prefix_block_size=8,
+            )
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                results = await asyncio.gather(*[
+                    sched.submit(GenerationRequest(prompt=p, max_new_tokens=b))
+                    for p, b in zip(prompts, budgets)
+                ])
+                return results, sched.stats()
+
+        cached, cached_stats = self._run(serve(1 << 22))
+        plain, plain_stats = self._run(serve(0))
+        for with_cache, without in zip(cached, plain):
+            assert with_cache.tokens == without.tokens
+        tiny_session.calibrate()
+        for prompt, budget, result in zip(prompts, budgets, cached):
+            expected = tiny_session.engine.generate(np.asarray(prompt), budget, temperature=0.0)
+            assert np.array_equal(result.full_sequence(), expected)
+        assert cached_stats["prefix_cache"]["enabled"]
+        assert cached_stats["prefix_cache"]["hits"] > 0
+        assert cached_stats["prefix_cache"]["hit_rate"] > 0.0
+        assert cached_stats["prefix_cache"]["bytes"] > 0
+        assert cached_stats["prefix_cache"]["prefill_tokens_saved"] > 0
+        assert not plain_stats["prefix_cache"]["enabled"]
+        assert plain_stats["prefix_cache"]["prefill_tokens_saved"] == 0
+
+    def test_cache_state_method_disables_prefix_cache(self, trained_tiny_model,
+                                                      calibration_sequences, eval_sequences):
+        session = SparseSession(
+            trained_tiny_model,
+            CacheAwareDIP(target_density=0.5),
+            calibration_sequences=calibration_sequences,
+            eval_sequences=eval_sequences,
+        )
+
+        async def serve():
+            async with ContinuousBatchingScheduler(session.share_calibration()) as sched:
+                result = await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=2))
+                return result, sched.stats()
+
+        result, stats = self._run(serve())
+        assert result.n_generated == 2
+        assert not stats["prefix_cache"]["enabled"]
+
+    def test_cache_prefix_false_bypasses_the_cache(self, tiny_session):
+        async def serve():
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64, prefix_block_size=4)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                prompt = tuple(range(1, 9))
+                first = await sched.submit(GenerationRequest(prompt=prompt, max_new_tokens=2))
+                opted_out = await sched.submit(GenerationRequest(
+                    prompt=prompt, max_new_tokens=2, cache_prefix=False
+                ))
+                return first, opted_out, sched.stats()
+
+        first, opted_out, stats = self._run(serve())
+        assert first.tokens == opted_out.tokens
+        # The opted-out request neither looked up nor published: one lookup
+        # total (the first request's own miss) and zero savings.
+        assert stats["prefix_cache"]["lookups"] == 1
+        assert stats["prefix_cache"]["prefill_tokens_saved"] == 0
+
+
+class TestServerLifecycle:
+    @pytest.fixture()
+    def server(self, tiny_session):
+        config = SchedulerConfig(max_batch_size=2, max_seq_len=64, prefix_block_size=4)
+        with BackgroundServer(tiny_session, config=config, pool_size=1) as background:
+            yield background.server
+
+    def _get_stats(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        conn.request("GET", "/stats")
+        stats = json.loads(conn.getresponse().read())
+        conn.close()
+        return stats
+
+    def test_stats_reports_prefix_cache_and_lifecycle_counters(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        payload = {"prompt": list(range(1, 9)), "max_new_tokens": 2, "stream": False}
+        conn.request("POST", "/generate", json.dumps(payload), {"Content-Type": "application/json"})
+        first = json.loads(conn.getresponse().read())
+        conn.close()
+        assert first["finish_reason"] == "length"
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        conn.request("POST", "/generate", json.dumps(payload), {"Content-Type": "application/json"})
+        conn.getresponse().read()
+        conn.close()
+        stats = self._get_stats(server)["scheduler"]
+        assert stats["prefix_cache"]["enabled"]
+        assert stats["prefix_cache"]["hits"] >= 1  # second request reused the head
+        assert stats["prefix_cache"]["prefill_tokens_saved"] > 0
+        assert stats["requests_timed_out"] == 0 and stats["requests_cancelled"] == 0
+
+    def test_timeout_over_http_returns_partial_result(self, server):
+        _slow_down_steps(server.scheduler)
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        payload = {"prompt": [1, 2, 3], "max_new_tokens": 40, "timeout_s": 0.03, "stream": False}
+        conn.request("POST", "/generate", json.dumps(payload), {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        result = json.loads(response.read())
+        conn.close()
+        assert response.status == 200
+        assert result["finish_reason"] == "timeout"
+        assert 0 < len(result["tokens"]) < 40
+
+    def test_dropped_stream_cancels_the_request(self, server):
+        """Disconnecting mid-stream must cancel server-side and free the slot."""
+        _slow_down_steps(server.scheduler)
+        payload = json.dumps({"prompt": [1, 2, 3], "max_new_tokens": 60, "stream": True}).encode()
+        raw = socket.create_connection((server.host, server.port), timeout=30)
+        raw.sendall(
+            b"POST /generate HTTP/1.1\r\nHost: t\r\nContent-Length: "
+            + str(len(payload)).encode() + b"\r\n\r\n" + payload
+        )
+        raw.recv(256)  # the head plus the first chunk(s): decoding has started
+        # RST on close so the server's next write/drain fails immediately.
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
+        raw.close()
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            stats = self._get_stats(server)["scheduler"]
+            if stats["requests_cancelled"] >= 1 and stats["active_requests"] == 0:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"server never cancelled the dropped stream: {stats}")
+        assert stats["tokens_generated"] < 60  # decode stopped early

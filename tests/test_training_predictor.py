@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sparsity.base import topk_fraction_mask
 from repro.training.predictor import (
     PredictorTrainingConfig,
     SparsityPredictor,

@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.utils.config import ConfigBase, asdict_shallow, config_hash
 

@@ -1,6 +1,5 @@
 """Tests for repro.utils.pareto."""
 
-import numpy as np
 import pytest
 
 from repro.utils.pareto import best_under_budget, interpolate_front, pareto_front, pareto_front_indices

@@ -1,7 +1,6 @@
 """Tests for repro.utils.rng."""
 
 import numpy as np
-import pytest
 
 from repro.utils.rng import RngMixin, new_rng, seed_from_string, spawn_rng
 
