@@ -5,13 +5,32 @@ The paper's point: a ReLU-fied model produces a large spike of exact zeros
 zero-skipping approaches have nothing to exploit.  The bench reports, for a
 deep layer of each model, the fraction of exact zeros, the fraction of
 near-zeros and magnitude percentiles.
+
+This is an activation-introspection figure (no perplexity / throughput), so
+the :class:`ExperimentSpec` only pins the workload: the calibration slice the
+activations are collected on comes from a
+:class:`~repro.pipeline.session.SparseSession` built from the spec, and the
+ReLU-fied counterpart is probed on the identical slice.
 """
 
 import numpy as np
 
 from benchmarks.conftest import run_once, write_result
 from repro.eval.reporting import format_table
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession
 from repro.sparsity.thresholding import collect_glu_activations
+
+CALIBRATION_SEQUENCES = 3
+
+
+def _spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig03-activation-distribution",
+        model=ModelSection(name="mistral-7b"),
+        method=MethodSection(name="glu"),
+        eval=EvalSection(calibration_sequences=CALIBRATION_SEQUENCES, primary_task=None),
+        hardware=None,
+    )
 
 
 def distribution_stats(model, sequences, label):
@@ -30,11 +49,13 @@ def distribution_stats(model, sequences, label):
 
 
 def test_fig03_activation_distribution(benchmark, mistral, relufied_mistral, capsys):
-    sequences = mistral.calibration_sequences[:3]
+    spec = _spec()
+    session = SparseSession.from_spec(spec, prepared=mistral)
+    sequences = session.calibration_sequences[: session.settings.calibration_sequences]
 
     def run():
         return [
-            distribution_stats(mistral.model, sequences, "mistral-sim (SwiGLU)"),
+            distribution_stats(session.model, sequences, "mistral-sim (SwiGLU)"),
             distribution_stats(relufied_mistral, sequences, "mistral-sim (ReLU-fied)"),
         ]
 

@@ -6,40 +6,65 @@ pruning is large, while on the ReLU-fied counterpart the same predictor
 recipe nearly closes the gap.  The bench sweeps GLU density and reports
 perplexity for both methods on both models, plus the predictors' top-k
 recall.
+
+The protocol runs through the pipeline API: an :class:`ExperimentSpec` fixes
+the workload, the SwiGLU model gets a session via ``from_spec`` and the
+ReLU-fied counterpart wraps the same evaluation assets in its own session;
+both thresholding variants bind via ``with_method`` (the methods are
+constructor-injected, pre-calibrated instances, so they ride the session
+rather than the registry).
 """
 
 import numpy as np
 
+from benchmarks.common import variant_session
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.eval.perplexity import dense_perplexity, perplexity
 from repro.eval.reporting import format_table
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession
 from repro.sparsity.glu_pruning import GLUPruning
 from repro.sparsity.predictive import PredictiveGLUPruning
-from repro.training.predictor import PredictorTrainingConfig, predictor_topk_recall, train_predictors
 from repro.sparsity.thresholding import collect_glu_activations, collect_mlp_inputs
+from repro.training.predictor import PredictorTrainingConfig, predictor_topk_recall, train_predictors
 
 DENSITIES = [0.25, 0.5, 0.75] if not FAST else [0.5]
 
 
+def _spec(bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig06-predictor-gap",
+        model=ModelSection(name="mistral-7b"),
+        method=MethodSection(name="glu"),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=None,
+    )
+
+
 def run_fig06(swiglu_prepared, relu_model, bench_settings):
-    calib = swiglu_prepared.calibration_sequences[: bench_settings.calibration_sequences]
-    eval_seqs = swiglu_prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    spec = _spec(bench_settings)
+    swiglu_session = SparseSession.from_spec(spec, prepared=swiglu_prepared)
+    relu_session = variant_session(relu_model, swiglu_prepared, spec)
     config = PredictorTrainingConfig(hidden_units=32, epochs=4, target_fraction=0.1, seed=0)
 
     rows = []
-    for label, model in (("SwiGLU", swiglu_prepared.model), ("ReLU-fied", relu_model)):
-        predictors = train_predictors(model, calib, config)
-        inputs = collect_mlp_inputs(model, calib)
-        glus = collect_glu_activations(model, calib)
+    for label, session in (("SwiGLU", swiglu_session), ("ReLU-fied", relu_session)):
+        calib = session.calibration_sequences[: session.settings.calibration_sequences]
+        predictors = train_predictors(session.model, calib, config)
+        inputs = collect_mlp_inputs(session.model, calib)
+        glus = collect_glu_activations(session.model, calib)
         recall = float(np.mean([
             predictor_topk_recall(p, x, g, 0.5) for p, x, g in zip(predictors, inputs, glus)
         ]))
-        dense = dense_perplexity(model, eval_seqs)
+        dense = session.with_method(None).perplexity()
         for density in DENSITIES:
-            oracle_ppl = perplexity(model, eval_seqs, GLUPruning(density, oracle=True))
-            predictive_ppl = perplexity(
-                model, eval_seqs, PredictiveGLUPruning(density, predictors=predictors)
-            )
+            oracle_ppl = session.with_method(GLUPruning(density, oracle=True)).perplexity()
+            predictive_ppl = session.with_method(
+                PredictiveGLUPruning(density, predictors=predictors)
+            ).perplexity()
             rows.append(
                 {
                     "model": label,

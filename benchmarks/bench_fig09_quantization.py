@@ -6,6 +6,12 @@ SparseGPT (with its 1-bit mask overhead) and DIP stacked on top of BQ4 / VQ3.
 Memory is accounted at paper scale (Phi-3-Medium geometry); accuracy comes
 from applying the same transforms to the simulation model.
 
+Protocol-wise each transformed model copy is wrapped in a
+:class:`~repro.pipeline.session.SparseSession` sharing the evaluation assets
+of the spec-built base session; the DIP rows stack dynamic sparsity onto the
+quantized sessions via ``with_method``.  Memory accounting (the x-axis) uses
+the footprint helpers directly — it is bookkeeping, not evaluation.
+
 Reproduction target: BQ4+DIP traces a better perplexity/memory frontier than
 dropping the bit-width further (BQ3/BQ2), i.e. dynamic sparsity is the better
 way to spend a shrinking memory budget.
@@ -13,46 +19,62 @@ way to spend a shrinking memory budget.
 
 import copy
 
-
+from benchmarks.common import variant_session
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.compression.footprint import model_memory_footprint, pruned_model_bytes, quantized_model_bytes
 from repro.compression.gptq import GPTQConfig, quantize_model_blockwise
 from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
 from repro.compression.vq import VQConfig, quantize_model_vq
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession
 from repro.sparsity.dip import DynamicInputPruning
 from repro.utils.units import MB
 
 DIP_DENSITIES = [0.4, 0.6, 0.8] if not FAST else [0.5]
 
 
+def _spec(bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig09-quantization",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name="dip"),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=None,
+    )
+
+
 def run_fig09(prepared, bench_settings):
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
+    spec = _spec(bench_settings)
+    session = SparseSession.from_spec(spec, prepared=prepared)
+    calib = session.calibration_sequences[: session.settings.calibration_sequences]
     paper_config = prepared.spec.paper_config
     rows = []
 
-    quantized_models = {}
+    quantized_sessions = {}
     for bits in (4, 3, 2):
         model = copy.deepcopy(prepared.model)
         quantize_model_blockwise(model, calib, GPTQConfig(bits=bits, block_size=16))
-        quantized_models[f"bq{bits}"] = model
+        quantized_sessions[f"bq{bits}"] = variant_session(model, prepared, spec)
         rows.append({
             "configuration": f"BQ{bits} (dense)",
             "memory_mb": quantized_model_bytes(paper_config, bits).total_bytes / MB,
-            "perplexity": perplexity(model, eval_seqs, None),
+            "perplexity": quantized_sessions[f"bq{bits}"].perplexity(),
         })
 
-    vq_models = {}
+    vq_sessions = {}
     for bits in (3, 2):
         model = copy.deepcopy(prepared.model)
         quantize_model_vq(model, VQConfig(bits_per_weight=bits, vector_dim=2, kmeans_iterations=8))
-        vq_models[f"vq{bits}"] = model
+        vq_sessions[f"vq{bits}"] = variant_session(model, prepared, spec)
         rows.append({
             "configuration": f"VQ{bits} (dense)",
             "memory_mb": quantized_model_bytes(paper_config, bits).total_bytes / MB,
-            "perplexity": perplexity(model, eval_seqs, None),
+            "perplexity": vq_sessions[f"vq{bits}"].perplexity(),
         })
 
     for sparsity in (0.5,):
@@ -61,17 +83,17 @@ def run_fig09(prepared, bench_settings):
         rows.append({
             "configuration": f"SparseGPT {sparsity:.0%} (4-bit + 1-bit mask)",
             "memory_mb": pruned_model_bytes(paper_config, sparsity, 4.0).total_bytes / MB,
-            "perplexity": perplexity(model, eval_seqs, None),
+            "perplexity": variant_session(model, prepared, spec).perplexity(),
         })
 
     for base_label, base_bits in (("BQ4", 4.0), ("VQ3", 3.0)):
-        base_model = quantized_models["bq4"] if base_label == "BQ4" else vq_models["vq3"]
+        base_session = quantized_sessions["bq4"] if base_label == "BQ4" else vq_sessions["vq3"]
         for density in DIP_DENSITIES:
             footprint = model_memory_footprint(paper_config, bits_per_weight=base_bits, mlp_density=density)
             rows.append({
                 "configuration": f"{base_label}+DIP@{density:.0%}",
                 "memory_mb": footprint.total_bytes / MB,
-                "perplexity": perplexity(base_model, eval_seqs, DynamicInputPruning(density)),
+                "perplexity": base_session.with_method(DynamicInputPruning(density)).perplexity(),
             })
     return rows
 

@@ -5,26 +5,55 @@ activations dominate, most sit within one order of magnitude (this is what
 makes cache-aware re-ranking cheap).  Right panel: sweeping the DIP-CA
 penalty gamma trades perplexity against throughput; the paper finds the
 sweet spot around gamma in [0.1, 0.3].
+
+One :class:`ExperimentSpec` (hardware section included) drives both panels:
+the left panel reads activations on the session's calibration slice, the
+right panel binds a ``CacheAwareDIP`` per gamma via ``with_method`` and gets
+perplexity and simulated throughput from the same session.
 """
 
 import numpy as np
 
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.engine.throughput import throughput_for_method
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
-from repro.hwsim.device import APPLE_A18
-from repro.hwsim.trace import SyntheticTraceConfig
+from repro.pipeline import (
+    EvalSection,
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+)
 from repro.sparsity.cache_aware import CacheAwareDIP
 from repro.sparsity.thresholding import collect_glu_activations
+from repro.utils.units import GB
 
 GAMMAS = [1e-3, 0.05, 0.2, 0.5, 1.0] if not FAST else [0.2, 1.0]
 DENSITY = 0.5
 
 
-def run_left_panel(prepared, bench_settings):
+def _spec(prepared, bench_settings, sim_tokens) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig10-gamma-ablation",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name="dip-ca", target_density=DENSITY, kwargs={"gamma": 0.2}),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=HardwareSection(
+            device="apple-a18",
+            dram_gb=prepared.spec.table2_dram_bytes / GB,
+            simulated_tokens=sim_tokens,
+        ),
+    )
+
+
+def run_left_panel(session):
     activations = collect_glu_activations(
-        prepared.model, prepared.calibration_sequences[: bench_settings.calibration_sequences]
+        session.model, session.calibration_sequences[: session.settings.calibration_sequences]
     )
     rows = []
     for layer_index, acts in enumerate(activations):
@@ -41,17 +70,15 @@ def run_left_panel(prepared, bench_settings):
     return rows
 
 
-def run_right_panel(prepared, bench_settings, sim_tokens):
-    device = APPLE_A18.with_dram(prepared.spec.table2_dram_bytes)
-    trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+def run_right_panel(session):
     rows = []
     for gamma in GAMMAS:
-        method = CacheAwareDIP(DENSITY, gamma=gamma, cache_fraction=0.5)
-        ppl = perplexity(prepared.model, eval_seqs, method)
-        tput = throughput_for_method(
-            CacheAwareDIP(DENSITY, gamma=gamma), prepared.spec, device, n_tokens=sim_tokens, trace_config=trace
-        )
+        # Perplexity probes the masks with the cache constrained to half the
+        # units; throughput lets the HW simulator drive the cache state.
+        ppl = session.with_method(
+            CacheAwareDIP(DENSITY, gamma=gamma, cache_fraction=0.5)
+        ).perplexity()
+        tput = session.with_method(CacheAwareDIP(DENSITY, gamma=gamma)).throughput()
         rows.append(
             {
                 "gamma": gamma,
@@ -64,9 +91,11 @@ def run_right_panel(prepared, bench_settings, sim_tokens):
 
 
 def test_fig10_gamma_ablation(benchmark, phi3_medium, bench_settings, sim_tokens, capsys):
+    session = SparseSession.from_spec(
+        _spec(phi3_medium, bench_settings, sim_tokens), prepared=phi3_medium
+    )
     left, right = run_once(
-        benchmark,
-        lambda: (run_left_panel(phi3_medium, bench_settings), run_right_panel(phi3_medium, bench_settings, sim_tokens)),
+        benchmark, lambda: (run_left_panel(session), run_right_panel(session))
     )
     text = (
         format_table(left, precision=4, title="Figure 10 (left) — normalised |GLU| percentiles per layer")

@@ -5,42 +5,67 @@ Belady's oracle, and against DIP-CA with a plain LFU cache.  Reproduction
 target: the eviction policies are nearly indistinguishable (even the
 clairvoyant oracle), while DIP-CA beats all of them — choosing *what to
 request* matters more than choosing *what to evict*.
+
+One :class:`ExperimentSpec` (hardware section included) drives the whole
+figure: per density a ``DynamicInputPruning`` session yields perplexity and
+one throughput estimate per eviction policy (``throughput(cache_policy=...)``
+overrides the spec's policy), and the DIP-CA comparison binds via
+``with_method`` on the same session.
 """
 
-
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.engine.throughput import throughput_for_method
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
-from repro.hwsim.device import APPLE_A18
-from repro.hwsim.trace import SyntheticTraceConfig
+from repro.pipeline import (
+    EvalSection,
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+)
 from repro.sparsity.cache_aware import CacheAwareDIP
 from repro.sparsity.dip import DynamicInputPruning
+from repro.utils.units import GB
 
 DENSITIES = [0.35, 0.5, 0.7] if not FAST else [0.5]
 POLICIES = ["none", "lru", "lfu", "belady"]
 
 
+def _spec(prepared, bench_settings, sim_tokens) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig11-cache-policies",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name="dip"),
+        densities=tuple(DENSITIES),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=HardwareSection(
+            device="apple-a18",
+            dram_gb=prepared.spec.table2_dram_bytes / GB,
+            simulated_tokens=sim_tokens,
+        ),
+    )
+
+
 def run_fig11(prepared, bench_settings, sim_tokens):
-    device = APPLE_A18.with_dram(prepared.spec.table2_dram_bytes)
-    trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
+    session = SparseSession.from_spec(
+        _spec(prepared, bench_settings, sim_tokens), prepared=prepared
+    )
     rows = []
     for density in DENSITIES:
-        ppl_dip = perplexity(prepared.model, eval_seqs, DynamicInputPruning(density))
-        row = {"mlp_density": density, "dip_ppl": ppl_dip}
+        dip = session.with_method(DynamicInputPruning(density))
+        row = {"mlp_density": density, "dip_ppl": dip.perplexity()}
         for policy in POLICIES:
-            row[f"dip/{policy}"] = throughput_for_method(
-                DynamicInputPruning(density), prepared.spec, device,
-                n_tokens=sim_tokens, cache_policy=policy, trace_config=trace,
-            ).tokens_per_second
-        row["dip-ca/lfu"] = throughput_for_method(
-            CacheAwareDIP(density, gamma=0.2), prepared.spec, device,
-            n_tokens=sim_tokens, cache_policy="lfu", trace_config=trace,
-        ).tokens_per_second
-        row["dip-ca_ppl"] = perplexity(
-            prepared.model, eval_seqs, CacheAwareDIP(density, gamma=0.2, cache_fraction=0.5)
-        )
+            row[f"dip/{policy}"] = dip.throughput(cache_policy=policy).tokens_per_second
+        dipca = session.with_method(CacheAwareDIP(density, gamma=0.2))
+        row["dip-ca/lfu"] = dipca.throughput(cache_policy="lfu").tokens_per_second
+        row["dip-ca_ppl"] = session.with_method(
+            CacheAwareDIP(density, gamma=0.2, cache_fraction=0.5)
+        ).perplexity()
         rows.append(row)
     return rows
 

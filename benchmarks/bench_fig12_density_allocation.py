@@ -4,26 +4,46 @@ Sweeps a grid of (input density, down density) pairs, measures perplexity for
 each, extracts the Pareto front in (MLP density, perplexity) space, and fits
 the linear logit-space allocation model the paper uses to pick per-component
 densities for a target MLP density.
+
+The 2-D sweep runs through the pipeline API: one :class:`ExperimentSpec`
+fixes the (halved) evaluation workload and each allocation binds a
+constructor-injected ``DynamicInputPruning`` to the shared session via
+``with_method``.
 """
 
-
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
+from repro.pipeline import EvalSection, ExperimentSpec, MethodSection, ModelSection, SparseSession
 from repro.sparsity.density import DIPDensityAllocation, fit_allocation_model
 from repro.sparsity.dip import DynamicInputPruning
 
 GRID = [0.25, 0.4, 0.6, 0.8] if not FAST else [0.3, 0.7]
 
 
+def _spec(bench_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig12-density-allocation",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name="dip"),
+        eval=EvalSection(
+            # The 2-D grid is quadratic in evaluations; halve the workload.
+            max_eval_sequences=max(3, bench_settings.max_eval_sequences // 2),
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=None,
+    )
+
+
 def run_fig12(prepared, bench_settings):
-    eval_seqs = prepared.eval_sequences[: max(3, bench_settings.max_eval_sequences // 2)]
+    session = SparseSession.from_spec(_spec(bench_settings), prepared=prepared)
     trials = []
     for input_density in GRID:
         for down_density in GRID:
             allocation = DIPDensityAllocation(input_density, down_density)
             method = DynamicInputPruning(allocation.mlp_density, allocation=allocation)
-            ppl = perplexity(prepared.model, eval_seqs, method)
+            ppl = session.with_method(method).perplexity()
             trials.append(
                 {
                     "input_density": input_density,

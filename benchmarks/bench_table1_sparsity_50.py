@@ -15,7 +15,10 @@ from repro.eval.reporting import format_table
 def test_table1_sparsity_50(benchmark, prepared_models, bench_settings, capsys):
     rows = run_once(
         benchmark,
-        lambda: accuracy_table(prepared_models, density=0.5, settings=bench_settings, lora_iterations=20),
+        lambda: accuracy_table(
+            prepared_models, density=0.5, settings=bench_settings, lora_iterations=20,
+            name_prefix="table1",
+        ),
     )
     text = format_table(rows, precision=3, title="Table 1 — dynamic sparsity at 50% MLP density")
     write_result("table1_sparsity_50", text)

@@ -19,6 +19,7 @@ def test_table3_density_60(benchmark, prepared_models, bench_settings, capsys):
             settings=bench_settings,
             static_variants=("unstructured",),
             include_lora=False,
+            name_prefix="table3",
         ),
     )
     text = format_table(rows, precision=3, title="Table 3 — dynamic sparsity at 60% MLP density")

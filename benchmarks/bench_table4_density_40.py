@@ -21,6 +21,7 @@ def test_table4_density_40(benchmark, prepared_models, bench_settings, capsys):
             static_variants=("unstructured",),
             include_lora=True,
             lora_iterations=15,
+            name_prefix="table4",
         ),
     )
     text = format_table(rows, precision=3, title="Table 4 — dynamic sparsity at 40% MLP density")

@@ -14,7 +14,7 @@ copy in its own session sharing the same assets.
 
 from typing import Dict, Tuple
 
-from benchmarks.common import DEJAVU_KWARGS, DYNAMIC_METHODS, _sparsegpt_variant
+from benchmarks.common import DEJAVU_KWARGS, DYNAMIC_METHODS, _sparsegpt_variant, variant_session
 from benchmarks.conftest import FAST, run_once, write_result
 from repro.compression.sparsegpt import SparseGPTConfig
 from repro.eval.reporting import format_table
@@ -63,16 +63,7 @@ def run_table5(prepared_models, bench_settings):
         pruned = _sparsegpt_variant(
             prepared, SparseGPTConfig(sparsity=1 - DENSITY, block_size=16), spec.eval.settings()
         )
-        static_session = SparseSession(
-            pruned,
-            None,
-            settings=spec.eval.settings(),
-            model_name=model_name,
-            eval_sequences=prepared.eval_sequences,
-            calibration_sequences=prepared.calibration_sequences,
-            task_suite={name: prepared.task_suite[name] for name in TASKS},
-        )
-        record("sparsegpt-unstructured", model_name, *_evaluate(static_session))
+        record("sparsegpt-unstructured", model_name, *_evaluate(variant_session(pruned, prepared, spec)))
 
         for name in DYNAMIC_METHODS:
             kwargs = DEJAVU_KWARGS if name == "dejavu" else {}

@@ -4,59 +4,56 @@ Paper reference (Phi-3-Medium, +0.5 ppl): dense 0.19 / 0.29 / 0.71 tok/s and
 DIP-CA 0.31 / 0.56 / 1.94 tok/s at 2 / 4 / 6 GB.  The reproduction target is
 that every method scales with DRAM and DIP-CA stays on top, with the largest
 relative gain at the largest DRAM size (more cache to exploit).
+
+The whole protocol is declarative: one :class:`ExperimentSpec` per method
+whose ``hardware`` is a *list* of device points (the same ``apple-a18``
+preset at three DRAM capacities), fanned out via ``hardware_sweep`` — the
+density grid is evaluated once on a shared session and only the HW
+simulation runs per DRAM size — with the operating points read straight off
+the result rows (:func:`benchmarks.common.hardware_ablation_table`; Table 7
+shares the identical loop on the Flash axis).
 """
 
+from benchmarks.common import hardware_ablation_table
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.engine.throughput import throughput_for_method
-from repro.eval.operating_point import find_operating_point
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
-from repro.hwsim.device import APPLE_A18
-from repro.hwsim.trace import SyntheticTraceConfig
-from repro.sparsity.registry import create_method
-from repro.utils.units import GB
+from repro.pipeline import EvalSection, ExperimentSpec, HardwareSection, MethodSection, ModelSection
 
 METHODS = ["glu", "up", "cats", "dip-ca"]
+METHOD_KWARGS = {"dip-ca": {"gamma": 0.2}}
 DENSITIES = [0.35, 0.5, 0.65, 0.8] if not FAST else [0.4, 0.7]
 DRAM_SIZES_GB = (2.0, 4.0, 6.0)
 PPL_BUDGET = 0.5
 
 
-def _method(name, density):
-    return create_method(name, target_density=density, **({"gamma": 0.2} if name == "dip-ca" else {}))
+def _spec(method_name, bench_settings, sim_tokens) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"table6-{method_name}",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name=method_name, kwargs=METHOD_KWARGS.get(method_name, {})),
+        densities=tuple(DENSITIES),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=[
+            HardwareSection(device="apple-a18", dram_gb=dram_gb, simulated_tokens=sim_tokens)
+            for dram_gb in DRAM_SIZES_GB
+        ],
+    )
 
 
 def run_table6(prepared, bench_settings, sim_tokens):
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
-    trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
-
-    ppl_cache = {}
-    for name in METHODS:
-        ppls = []
-        for density in DENSITIES:
-            method = _method(name, density)
-            if method.requires_calibration:
-                method.calibrate(prepared.model, calib)
-            ppls.append(perplexity(prepared.model, eval_seqs, method))
-        ppl_cache[name] = ppls
-
-    rows = []
-    for dram_gb in DRAM_SIZES_GB:
-        device = APPLE_A18.with_dram(dram_gb * GB)
-        row = {"dram_gb": dram_gb}
-        row["dense"] = throughput_for_method(None, prepared.spec, device, n_tokens=sim_tokens,
-                                             trace_config=trace).tokens_per_second
-        for name in METHODS:
-            tputs = [
-                throughput_for_method(_method(name, d), prepared.spec, device, n_tokens=sim_tokens,
-                                      trace_config=trace).tokens_per_second
-                for d in DENSITIES
-            ]
-            op = find_operating_point(DENSITIES, ppl_cache[name], tputs, prepared.dense_ppl, PPL_BUDGET, name)
-            row[name] = op.tokens_per_second if op.feasible else None
-        rows.append(row)
-    return rows
+    return hardware_ablation_table(
+        prepared,
+        lambda name: _spec(name, bench_settings, sim_tokens),
+        METHODS,
+        axis_key="dram_gb",
+        axis_values=DRAM_SIZES_GB,
+        ppl_budget=PPL_BUDGET,
+    )
 
 
 def test_table6_dram_ablation(benchmark, phi3_medium, bench_settings, sim_tokens, capsys):

@@ -4,59 +4,60 @@ Paper reference (Phi-3-Medium, +0.5 ppl): dense 0.15 / 0.29 / 0.59 tok/s and
 DIP-CA 0.28 / 0.56 / 1.09 tok/s at 0.5 / 1 / 2 GB/s.  The reproduction target
 is near-linear scaling with Flash bandwidth (Flash is the bottleneck) with
 the method ordering unchanged.
+
+Like Table 6 this is one declarative spec per method: ``hardware`` lists the
+same ``apple-a18`` point at three ``flash_gbps`` overrides (DRAM fixed at the
+Table 2 allocation) and ``hardware_sweep`` evaluates the density grid once,
+re-simulating only the memory system per Flash speed
+(:func:`benchmarks.common.hardware_ablation_table` runs the shared loop).
 """
 
+from benchmarks.common import hardware_ablation_table
 from benchmarks.conftest import FAST, run_once, write_result
-from repro.engine.throughput import throughput_for_method
-from repro.eval.operating_point import find_operating_point
-from repro.eval.perplexity import perplexity
 from repro.eval.reporting import format_table
-from repro.hwsim.device import APPLE_A18
-from repro.hwsim.trace import SyntheticTraceConfig
-from repro.sparsity.registry import create_method
+from repro.pipeline import EvalSection, ExperimentSpec, HardwareSection, MethodSection, ModelSection
 from repro.utils.units import GB
 
 METHODS = ["glu", "up", "cats", "dip-ca"]
+METHOD_KWARGS = {"dip-ca": {"gamma": 0.2}}
 DENSITIES = [0.35, 0.5, 0.65, 0.8] if not FAST else [0.4, 0.7]
 FLASH_SPEEDS_GBPS = (0.5, 1.0, 2.0)
 PPL_BUDGET = 0.5
 
 
-def _method(name, density):
-    return create_method(name, target_density=density, **({"gamma": 0.2} if name == "dip-ca" else {}))
+def _spec(method_name, prepared, bench_settings, sim_tokens) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"table7-{method_name}",
+        model=ModelSection(name="phi3-medium"),
+        method=MethodSection(name=method_name, kwargs=METHOD_KWARGS.get(method_name, {})),
+        densities=tuple(DENSITIES),
+        eval=EvalSection(
+            max_eval_sequences=bench_settings.max_eval_sequences,
+            max_task_examples=bench_settings.max_task_examples,
+            calibration_sequences=bench_settings.calibration_sequences,
+            primary_task=None,
+        ),
+        hardware=[
+            HardwareSection(
+                device="apple-a18",
+                dram_gb=prepared.spec.table2_dram_bytes / GB,
+                flash_gbps=flash_gbps,
+                simulated_tokens=sim_tokens,
+            )
+            for flash_gbps in FLASH_SPEEDS_GBPS
+        ],
+    )
 
 
 def run_table7(prepared, bench_settings, sim_tokens):
-    eval_seqs = prepared.eval_sequences[: bench_settings.max_eval_sequences]
-    calib = prepared.calibration_sequences[: bench_settings.calibration_sequences]
-    trace = SyntheticTraceConfig(n_tokens=sim_tokens, seed=0)
-
-    ppl_cache = {}
-    for name in METHODS:
-        ppls = []
-        for density in DENSITIES:
-            method = _method(name, density)
-            if method.requires_calibration:
-                method.calibrate(prepared.model, calib)
-            ppls.append(perplexity(prepared.model, eval_seqs, method))
-        ppl_cache[name] = ppls
-
-    rows = []
-    for flash_gbps in FLASH_SPEEDS_GBPS:
-        device = APPLE_A18.with_dram(prepared.spec.table2_dram_bytes).with_flash_bandwidth(flash_gbps * GB)
-        row = {"flash_gbps": flash_gbps}
-        row["dense"] = throughput_for_method(None, prepared.spec, device, n_tokens=sim_tokens,
-                                             trace_config=trace).tokens_per_second
-        for name in METHODS:
-            tputs = [
-                throughput_for_method(_method(name, d), prepared.spec, device, n_tokens=sim_tokens,
-                                      trace_config=trace).tokens_per_second
-                for d in DENSITIES
-            ]
-            op = find_operating_point(DENSITIES, ppl_cache[name], tputs, prepared.dense_ppl, PPL_BUDGET, name)
-            row[name] = op.tokens_per_second if op.feasible else None
-        rows.append(row)
-    return rows
+    return hardware_ablation_table(
+        prepared,
+        lambda name: _spec(name, prepared, bench_settings, sim_tokens),
+        METHODS,
+        axis_key="flash_gbps",
+        axis_values=FLASH_SPEEDS_GBPS,
+        ppl_budget=PPL_BUDGET,
+    )
 
 
 def test_table7_flash_ablation(benchmark, phi3_medium, bench_settings, sim_tokens, capsys):

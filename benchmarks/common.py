@@ -2,8 +2,12 @@
 
 The paper's accuracy tables share one protocol: fix a target MLP density,
 run every method on every model, report WikiText-2 perplexity and 5-shot
-MMLU accuracy (Table 5 swaps MMLU for a broader task suite).  This module
-implements that grid once over the simulation substrate; the individual
+MMLU accuracy (Table 5 swaps MMLU for a broader task suite).  The protocol
+runs through the pipeline API: a per-model :class:`ExperimentSpec` fixes the
+workload, a :class:`~repro.pipeline.session.SparseSession` executes the
+metrics, dynamic methods rebind via ``with_method``, and model *transforms*
+(SparseGPT pruning, LoRA-distilled variants) wrap their transformed model
+copy in a session sharing the same evaluation assets.  The individual
 ``bench_table*.py`` files only choose the density / task set.
 """
 
@@ -12,12 +16,18 @@ from __future__ import annotations
 import copy
 from typing import Dict, List, Optional, Sequence
 
-
 from repro.compression.sparsegpt import SparseGPTConfig, sparsegpt_prune_model
-from repro.eval.accuracy import suite_accuracy, task_accuracy
 from repro.eval.harness import EvaluationSettings
-from repro.eval.perplexity import perplexity
+from repro.eval.operating_point import operating_point_from_rows
 from repro.experiments.models import PreparedModel
+from repro.pipeline import (
+    EvalSection,
+    ExperimentSpec,
+    MethodSection,
+    ModelSection,
+    SparseSession,
+    hardware_sweep,
+)
 from repro.sparsity.registry import create_method
 from repro.training.distill import DistillationConfig, finetune_lora_distillation
 from repro.training.lora import LoRAConfig, attach_mlp_adapters, fuse_adapters
@@ -26,6 +36,90 @@ from repro.training.lora import LoRAConfig, attach_mlp_adapters, fuse_adapters
 DYNAMIC_METHODS = ["glu-oracle", "gate", "up", "dejavu", "cats", "dip"]
 
 DEJAVU_KWARGS = {"predictor_hidden": 32, "predictor_epochs": 3}
+
+
+def table_spec(
+    model_name: str,
+    density: float,
+    settings: EvaluationSettings,
+    task_names: Optional[Sequence[str]] = None,
+    name_prefix: str = "table",
+) -> ExperimentSpec:
+    """The declarative accuracy-table protocol for one model.
+
+    ``task_names=None`` keeps the primary synthetic-MMLU task (Table 1/3/4
+    mode); a task list enables suite scoring instead (Table 5 mode).
+    """
+    return ExperimentSpec(
+        name=f"{name_prefix}-{model_name}",
+        model=ModelSection(name=model_name),
+        method=MethodSection(name="dip", target_density=density),
+        eval=EvalSection(
+            max_eval_sequences=settings.max_eval_sequences,
+            max_task_examples=settings.max_task_examples,
+            calibration_sequences=settings.calibration_sequences,
+            primary_task="mmlu" if task_names is None else None,
+            tasks=tuple(task_names) if task_names is not None else (),
+        ),
+        hardware=None,
+    )
+
+
+def variant_session(model, prepared: PreparedModel, spec: ExperimentSpec) -> SparseSession:
+    """A session over a *transformed* model copy sharing ``prepared``'s assets.
+
+    ``dense_ppl`` is deliberately left unset: the transform (pruning,
+    quantization, ReLU-fication, LoRA fusion) changes the model, so the base
+    model's dense perplexity is not this session's dense baseline.
+    """
+    task_suite = None
+    if spec.eval.tasks:
+        task_suite = {name: prepared.task_suite[name] for name in spec.eval.tasks}
+    return SparseSession(
+        model,
+        None,
+        settings=spec.eval.settings(),
+        model_name=prepared.name,
+        eval_sequences=prepared.eval_sequences,
+        calibration_sequences=prepared.calibration_sequences,
+        primary_task=prepared.primary_task if spec.eval.primary_task is not None else None,
+        task_suite=task_suite,
+    )
+
+
+def evaluate_session(bound: SparseSession, spec: ExperimentSpec):
+    """(perplexity, accuracy-or-suite-dict) for one bound session."""
+    ppl = bound.perplexity()
+    if spec.eval.tasks:
+        return ppl, bound.suite_accuracy()
+    if spec.eval.primary_task is not None:
+        return ppl, bound.accuracy()
+    return ppl, None
+
+
+def hardware_ablation_table(prepared, spec_builder, methods, axis_key, axis_values, ppl_budget):
+    """Shared Table 6/7 protocol: per-method hardware sweeps + operating points.
+
+    ``spec_builder(method_name)`` returns that method's sweep spec, whose
+    ``hardware`` list is aligned with ``axis_values`` (one device point per
+    ablation column).  Returns one row dict per axis value: the dense
+    throughput (ridden along with the first method's sweep) plus, per method,
+    the highest throughput whose perplexity stays within ``ppl_budget`` of
+    the prepared model's dense perplexity.
+    """
+    session = SparseSession.from_spec(spec_builder(methods[0]), prepared=prepared)
+    rows = [{axis_key: value} for value in axis_values]
+    for index, name in enumerate(methods):
+        # Dense rows ride along with the first method's sweep only.
+        results = hardware_sweep(spec_builder(name), session=session, include_dense=index == 0)
+        for row, result in zip(rows, results):
+            result_rows = result.rows()
+            if index == 0:
+                row["dense"] = next(r["tokens/s"] for r in result_rows if r["method"] == "dense")
+            method_rows = [r for r in result_rows if r["method"] != "dense"]
+            op = operating_point_from_rows(method_rows, session.dense_ppl, ppl_budget, name)
+            row[name] = op.tokens_per_second if op.feasible else None
+    return rows
 
 
 def _lora_variant(
@@ -68,6 +162,7 @@ def accuracy_table(
     lora_iterations: int = 20,
     task_names: Optional[Sequence[str]] = None,
     static_variants: Sequence[str] = ("unstructured", "2:4", "4:8"),
+    name_prefix: str = "table",
 ) -> List[Dict[str, object]]:
     """One row per method, one (ppl, acc) column pair per model.
 
@@ -87,23 +182,10 @@ def accuracy_table(
             row[f"{model_name}:acc"] = acc
 
     for model_name, prepared in prepared_models.items():
-        eval_seqs = prepared.eval_sequences[: settings.max_eval_sequences]
-        calib = prepared.calibration_sequences[: settings.calibration_sequences]
-        tasks = (
-            {k: prepared.task_suite[k] for k in task_names} if task_names is not None else None
-        )
+        spec = table_spec(model_name, density, settings, task_names, name_prefix=name_prefix)
+        session = SparseSession.from_spec(spec, prepared=prepared)
 
-        def evaluate(model, method) -> None:
-            ppl = perplexity(model, eval_seqs, method)
-            if tasks is not None:
-                acc = suite_accuracy(model, tasks, method=method, max_examples=settings.max_task_examples)
-            else:
-                acc = task_accuracy(model, prepared.primary_task, method=method,
-                                    max_examples=settings.max_task_examples)
-            return ppl, acc
-
-        ppl, acc = evaluate(prepared.model, None)
-        record("dense", model_name, ppl, acc)
+        record("dense", model_name, *evaluate_session(session.with_method(None), spec))
 
         if include_static:
             catalogue = {
@@ -114,24 +196,19 @@ def accuracy_table(
             for variant in static_variants:
                 label, config = catalogue[variant]
                 pruned = _sparsegpt_variant(prepared, config, settings)
-                ppl, acc = evaluate(pruned, None)
-                record(label, model_name, ppl, acc)
+                static_session = variant_session(pruned, prepared, spec)
+                record(label, model_name, *evaluate_session(static_session, spec))
 
         for name in DYNAMIC_METHODS:
             kwargs = DEJAVU_KWARGS if name == "dejavu" else {}
             method = create_method(name, target_density=density, **kwargs)
-            if method.requires_calibration:
-                method.calibrate(prepared.model, calib)
-            ppl, acc = evaluate(prepared.model, method)
-            record(name, model_name, ppl, acc)
+            record(name, model_name, *evaluate_session(session.with_method(method), spec))
 
         if include_lora:
             for name in ("cats", "dip"):
                 adapted = _lora_variant(prepared, name, density, settings, lora_iterations)
                 method = create_method(name, target_density=density)
-                if method.requires_calibration:
-                    method.calibrate(adapted, calib)
-                ppl, acc = evaluate(adapted, method)
-                record(f"{name}+lora", model_name, ppl, acc)
+                adapted_session = variant_session(adapted, prepared, spec).with_method(method)
+                record(f"{name}+lora", model_name, *evaluate_session(adapted_session, spec))
 
     return list(rows.values())

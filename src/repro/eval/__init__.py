@@ -6,6 +6,7 @@ from repro.eval.operating_point import (
     OperatingPoint,
     find_operating_point,
     max_throughput_at_ppl_increase,
+    operating_point_from_rows,
 )
 from repro.eval.harness import (
     EvaluationSettings,
@@ -24,6 +25,7 @@ __all__ = [
     "OperatingPoint",
     "find_operating_point",
     "max_throughput_at_ppl_increase",
+    "operating_point_from_rows",
     "EvaluationSettings",
     "MethodEvaluation",
     "evaluate_method",

@@ -66,6 +66,38 @@ def find_operating_point(
     )
 
 
+def operating_point_from_rows(
+    rows: Sequence[Dict[str, object]],
+    dense_perplexity: float,
+    ppl_increase: float,
+    method_name: str = "",
+) -> OperatingPoint:
+    """Operating point from experiment-result rows (pipeline integration).
+
+    ``rows`` are the flat dicts produced by
+    ``repro.pipeline.runner.ExperimentResult.rows()`` — each must carry
+    ``density``, ``perplexity`` and ``tokens/s`` (i.e. the spec had a
+    hardware section).  Filter dense / other-method rows out before calling;
+    for a merged hardware sweep, group by the ``hardware`` column first.
+    """
+    if not rows:
+        return OperatingPoint(method_name, ppl_increase, None, None, None, feasible=False)
+    missing = [key for key in ("density", "perplexity", "tokens/s") if key not in rows[0]]
+    if missing:
+        raise KeyError(
+            f"rows lack {missing}; operating points need evaluated perplexity and "
+            "simulated throughput (did the spec have a hardware section?)"
+        )
+    return find_operating_point(
+        [row["density"] for row in rows],
+        [row["perplexity"] for row in rows],
+        [row["tokens/s"] for row in rows],
+        dense_perplexity,
+        ppl_increase,
+        method_name,
+    )
+
+
 def max_throughput_at_ppl_increase(
     densities: Sequence[float],
     perplexity_fn: Callable[[float], float],

@@ -4,7 +4,9 @@ Models the memory system of a mobile SoC during LLM token generation:
 
 * a :class:`~repro.hwsim.device.DeviceSpec` describing DRAM capacity, DRAM
   bandwidth and Flash read bandwidth (defaults mirror the paper's Apple-A18
-  setting: 60 GB/s DRAM, 1 GB/s Flash);
+  setting: 60 GB/s DRAM, 1 GB/s Flash), looked up **by name** from a
+  registry of presets (:func:`~repro.hwsim.device.register_device`) so
+  experiment specs never embed byte constants;
 * a :class:`~repro.hwsim.memory.WeightMemoryLayout` describing where the
   model's bytes live — non-MLP weights and the KV cache are statically
   resident (loaded from DRAM each token), MLP weights are demand-loaded at
@@ -19,7 +21,15 @@ Models the memory system of a mobile SoC during LLM token generation:
   that token generation is memory-bound.
 """
 
-from repro.hwsim.device import DeviceSpec, DEVICE_PRESETS, get_device, APPLE_A18
+from repro.hwsim.device import (
+    APPLE_A18,
+    DEVICE_PRESETS,
+    DeviceSpec,
+    get_device,
+    list_devices,
+    register_device,
+    unregister_device,
+)
 from repro.hwsim.cache import (
     GroupCache,
     NoCache,
@@ -48,6 +58,9 @@ __all__ = [
     "DeviceSpec",
     "DEVICE_PRESETS",
     "get_device",
+    "list_devices",
+    "register_device",
+    "unregister_device",
     "APPLE_A18",
     "GroupCache",
     "NoCache",

@@ -16,6 +16,13 @@ Implemented policies:
 * :class:`BeladyCache` — the clairvoyant optimal policy (Belady, 1966): evict
   the unit whose next use is farthest in the future.  Requires the full
   future trace and is therefore an offline oracle, used as an upper bound.
+
+Units: capacities and accesses are counted in *units* (equally sized weight
+columns/rows of one group), not bytes — the byte conversion happens in
+:mod:`repro.hwsim.memory`; time advances in whole tokens.  What the model
+abstracts away: associativity, cache lines, and replacement latency — only
+hit/miss per unit per token matters.  Reproduces the eviction-policy
+comparison of paper Section 5.1 / Figure 11.
 """
 
 from __future__ import annotations

@@ -1,4 +1,20 @@
-"""Device specifications for the hardware simulator."""
+"""Device registry for the hardware simulator (paper Appendix A, Table 6/7).
+
+A :class:`DeviceSpec` abstracts a mobile SoC down to the three memory-system
+numbers that matter for token generation — DRAM capacity, DRAM bandwidth and
+Flash read bandwidth; NPU compute is assumed to overlap with (and be dominated
+by) memory traffic.  Units are bytes and bytes/second throughout (use
+:data:`repro.utils.units.GB` to convert).
+
+Presets are looked up **by name** so experiment specs can say
+``hardware: {device: "apple-a18"}`` instead of embedding byte constants;
+:func:`register_device` adds new presets at runtime (they become immediately
+valid in :class:`~repro.pipeline.spec.HardwareSection`).  The paper's
+hardware ablations vary one preset's DRAM capacity (Table 6) or Flash
+bandwidth (Table 7) via :meth:`DeviceSpec.with_dram` /
+:meth:`DeviceSpec.with_flash_bandwidth` — or, declaratively, the
+``dram_gb`` / ``flash_gbps`` overrides of a spec's hardware section.
+"""
 
 from __future__ import annotations
 
@@ -77,8 +93,25 @@ FLAGSHIP_PHONE = DeviceSpec(
     flash_read_bandwidth=2.0 * GB,
 )
 
+#: iPhone 15-class device (A16: LPDDR5 at ~51 GB/s, NVMe-class Flash).
+IPHONE_15 = DeviceSpec(
+    name="iphone-15",
+    dram_capacity_bytes=4.0 * GB,
+    dram_bandwidth=51.2 * GB,
+    flash_read_bandwidth=1.2 * GB,
+)
+
+#: Pixel 9-class device (Tensor G4: LPDDR5X at ~68 GB/s, UFS 3.1 Flash).
+PIXEL_9 = DeviceSpec(
+    name="pixel-9",
+    dram_capacity_bytes=6.0 * GB,
+    dram_bandwidth=68.2 * GB,
+    flash_read_bandwidth=1.5 * GB,
+)
+
 DEVICE_PRESETS: Dict[str, DeviceSpec] = {
-    spec.name: spec for spec in (APPLE_A18, SNAPDRAGON_8S_GEN3, BUDGET_PHONE, FLAGSHIP_PHONE)
+    spec.name: spec
+    for spec in (APPLE_A18, SNAPDRAGON_8S_GEN3, BUDGET_PHONE, FLAGSHIP_PHONE, IPHONE_15, PIXEL_9)
 }
 
 
@@ -92,3 +125,28 @@ def get_device(name: str) -> DeviceSpec:
     if name not in DEVICE_PRESETS:
         raise KeyError(f"unknown device '{name}'; available: {list_devices()}")
     return DEVICE_PRESETS[name]
+
+
+def register_device(spec: DeviceSpec, overwrite: bool = False) -> DeviceSpec:
+    """Register a device preset so specs can reference it by name.
+
+    Registration makes ``spec.name`` valid in
+    :class:`~repro.pipeline.spec.HardwareSection` (and anywhere else devices
+    are resolved by name).  Re-registering an existing name raises unless
+    ``overwrite=True``.  Returns the registered spec for chaining.
+    """
+    if not isinstance(spec, DeviceSpec):
+        raise TypeError(f"register_device expects a DeviceSpec, got {type(spec).__name__}")
+    if not spec.name:
+        raise ValueError("device name must be non-empty")
+    if spec.name in DEVICE_PRESETS and not overwrite:
+        raise ValueError(
+            f"device '{spec.name}' is already registered; pass overwrite=True to replace it"
+        )
+    DEVICE_PRESETS[spec.name] = spec
+    return spec
+
+
+def unregister_device(name: str) -> None:
+    """Remove a previously registered preset (missing names are a no-op)."""
+    DEVICE_PRESETS.pop(name, None)

@@ -11,6 +11,13 @@ Follows the paper's Appendix A allocation scheme:
 
 A :class:`WeightGroup` is the unit pool the cache policies operate on: one
 layer × one matrix × one slicing axis, with all units equally sized.
+
+Units: all sizes are **bytes** (``unit_bytes`` may be fractional when
+``bits_per_weight`` is not a multiple of 8); ``keep_fraction`` is a
+dimensionless fraction in [0, 1].  What the model abstracts away: weight
+*values* (only byte counts and access patterns matter here) and any
+compute cost.  Reproduces the allocation scheme of paper Appendix A that
+feeds Tables 2/6/7 and Figure 11.
 """
 
 from __future__ import annotations

@@ -10,6 +10,12 @@ embeddings, KV cache, predictors) are charged on every token; demand-loaded
 MLP bytes are charged to DRAM on a cache hit and to Flash on a miss.  The
 (small) extra DRAM write performed when a miss is installed in the cache is
 ignored, as Flash bandwidth is 60x smaller and dominates miss cost.
+
+Units: byte counts in, **seconds per token** out (reported as tokens/second
+= 1 / mean latency, after ``warmup_tokens`` are dropped); bandwidths are
+bytes/second.  What the model abstracts away: NPU compute time, memory-level
+parallelism, and DRAM write-back cost.  Reproduces the latency model of
+paper Appendix A behind Tables 2/6/7 and Figure 11.
 """
 
 from __future__ import annotations

@@ -15,6 +15,14 @@ Two sources of traces:
 For score-based traces the *selection* (top-k, optionally cache-aware per
 Eq. 10) is deferred to the simulator, because DIP-CA's choice depends on the
 live cache state.
+
+Units: a trace is (token index × unit index) — booleans for recorded
+activity, dimensionless magnitude scores for synthetic traces; no bytes or
+seconds appear until :mod:`repro.hwsim.memory` / ``simulator`` convert them.
+What the model abstracts away: actual activation values (only *which* units
+a token touches matters) and cross-layer timing.  The synthetic generator
+reproduces the heavy-tailed, temporally correlated access statistics of
+paper Figure 10 (left) that make DRAM caching effective.
 """
 
 from __future__ import annotations

@@ -33,6 +33,8 @@ from repro.pipeline.runner import (
     ExperimentResult,
     ResultCache,
     density_sweep,
+    hardware_sweep,
+    merge_sweep_results,
     method_grid,
     run_experiment,
 )
@@ -51,5 +53,7 @@ __all__ = [
     "ResultCache",
     "method_grid",
     "density_sweep",
+    "hardware_sweep",
+    "merge_sweep_results",
     "run_experiment",
 ]

@@ -107,7 +107,10 @@ class SparseSession:
             method = spec.build_method()
         elif isinstance(method, str):
             method = REGISTRY.create(method, target_density=spec.method.target_density)
-        device = spec.hardware.device_spec() if spec.hardware is not None else None
+        # A session binds one device; for a hardware *sweep* the runner
+        # (``hardware_sweep``) overrides the device per point.
+        hardware = spec.primary_hardware()
+        device = hardware.device_spec() if hardware is not None else None
 
         if prepared is None and prepare:
             from repro.experiments.models import prepare_model
@@ -120,7 +123,7 @@ class SparseSession:
                 method,
                 model_spec=get_model_spec(spec.model.name),
                 device=device,
-                hardware=spec.hardware,
+                hardware=hardware,
                 settings=spec.eval.settings(),
                 model_name=spec.model.name,
             )
@@ -141,7 +144,7 @@ class SparseSession:
             method,
             model_spec=prepared.spec,
             device=device,
-            hardware=spec.hardware,
+            hardware=hardware,
             settings=spec.eval.settings(),
             model_name=prepared.name,
             eval_sequences=prepared.eval_sequences,

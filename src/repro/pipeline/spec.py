@@ -3,8 +3,9 @@
 An :class:`ExperimentSpec` is a frozen, JSON-serialisable description of one
 experiment: which model to prepare, on what data, which sparsity method to
 apply at which densities, how to evaluate, and (optionally) which simulated
-device to estimate throughput on.  Specs validate on construction and raise
-:class:`SpecError` with messages that list the allowed values.
+device — or *list* of devices, for multi-device hardware sweeps à la
+Table 6/7 — to estimate throughput on.  Specs validate on construction and
+raise :class:`SpecError` with messages that list the allowed values.
 
 The spec layer deliberately knows nothing about execution; see
 :class:`repro.pipeline.session.SparseSession` and
@@ -15,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Mapping, Optional, Tuple, Type, TypeVar
+from typing import Any, Mapping, Optional, Sequence, Tuple, Type, TypeVar, Union
 
 from repro.data.tasks import TASK_NAMES
 from repro.experiments.models import PreparationConfig
@@ -154,11 +155,21 @@ class EvalSection(ConfigBase):
 
 @dataclasses.dataclass(frozen=True)
 class HardwareSection(ConfigBase):
-    """Simulated device for throughput estimation (omit for accuracy-only runs)."""
+    """Simulated device for throughput estimation (omit for accuracy-only runs).
+
+    ``device`` names a preset from the hwsim device registry
+    (:func:`repro.hwsim.device.list_devices`; extend it with
+    :func:`repro.hwsim.device.register_device`).  ``dram_gb`` / ``flash_gbps``
+    override the preset's DRAM capacity and Flash read bandwidth — this is how
+    the paper's hardware ablations (Table 6 / Table 7) are expressed as a
+    sweep over hardware points of one base device.
+    """
 
     device: str = "apple-a18"
     #: Override the preset's DRAM capacity (GB); ``None`` keeps the preset value.
     dram_gb: Optional[float] = None
+    #: Override the preset's Flash read bandwidth (GB/s); ``None`` keeps the preset value.
+    flash_gbps: Optional[float] = None
     bits_per_weight: float = 4.0
     simulated_tokens: int = 20
     cache_policy: str = "lfu"
@@ -171,6 +182,9 @@ class HardwareSection(ConfigBase):
             f"unknown device '{self.device}'; available: {list_devices()}",
         )
         _require(self.dram_gb is None or self.dram_gb > 0, "hardware.dram_gb must be positive")
+        _require(
+            self.flash_gbps is None or self.flash_gbps > 0, "hardware.flash_gbps must be positive"
+        )
         _require(self.bits_per_weight > 0, "hardware.bits_per_weight must be positive")
         _require(self.simulated_tokens > 0, "hardware.simulated_tokens must be positive")
         _require(
@@ -179,11 +193,39 @@ class HardwareSection(ConfigBase):
         )
 
     def device_spec(self) -> DeviceSpec:
-        """Resolve the preset (with the DRAM override applied)."""
+        """Resolve the preset (with the DRAM / Flash overrides applied)."""
         device = get_device(self.device)
         if self.dram_gb is not None:
             device = device.with_dram(self.dram_gb * GB)
+        if self.flash_gbps is not None:
+            device = device.with_flash_bandwidth(self.flash_gbps * GB)
         return device
+
+    def label(self) -> str:
+        """Compact human-readable identifier (device plus any overrides)."""
+        overrides = []
+        if self.dram_gb is not None:
+            overrides.append(f"dram={self.dram_gb:g}GB")
+        if self.flash_gbps is not None:
+            overrides.append(f"flash={self.flash_gbps:g}GB/s")
+        if not overrides:
+            return self.device
+        return f"{self.device}[{','.join(overrides)}]"
+
+
+#: What ``ExperimentSpec.hardware`` accepts: nothing (accuracy-only), one
+#: device point, or a list of points (a hardware sweep — Table 6 / Table 7).
+HardwareLike = Union[None, HardwareSection, Sequence[HardwareSection]]
+
+
+def _coerce_hardware_point(value: Any, section: str) -> HardwareSection:
+    if isinstance(value, HardwareSection):
+        return value
+    if isinstance(value, Mapping):
+        return _section_from_dict(HardwareSection, value, section)
+    raise SpecError(
+        f"section '{section}' must be a HardwareSection or a mapping, got {type(value).__name__}"
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -197,13 +239,37 @@ class ExperimentSpec(ConfigBase):
     #: Density grid; empty means "just method.target_density".
     densities: Tuple[float, ...] = ()
     eval: EvalSection = dataclasses.field(default_factory=EvalSection)
-    hardware: Optional[HardwareSection] = dataclasses.field(default_factory=HardwareSection)
+    #: ``None`` (accuracy-only), one :class:`HardwareSection`, or a list of
+    #: them — a multi-device hardware sweep evaluated by
+    #: :func:`repro.pipeline.runner.hardware_sweep`.
+    hardware: HardwareLike = dataclasses.field(default_factory=HardwareSection)
 
     def __post_init__(self):
         _require(bool(self.name), "spec.name must be non-empty")
         object.__setattr__(self, "densities", tuple(float(d) for d in self.densities))
         for density in self.densities:
             _require(0.0 < density <= 1.0, f"density {density} must lie in (0, 1]")
+        hardware = self.hardware
+        if hardware is None or isinstance(hardware, HardwareSection):
+            pass
+        elif isinstance(hardware, Mapping):
+            object.__setattr__(self, "hardware", _coerce_hardware_point(hardware, "hardware"))
+        elif isinstance(hardware, Sequence) and not isinstance(hardware, (str, bytes)):
+            points = tuple(
+                _coerce_hardware_point(point, f"hardware[{index}]")
+                for index, point in enumerate(hardware)
+            )
+            _require(
+                len(points) > 0,
+                "spec.hardware list must name at least one device point "
+                "(use null/None for accuracy-only runs)",
+            )
+            object.__setattr__(self, "hardware", points)
+        else:
+            raise SpecError(
+                "spec.hardware must be null, a hardware section, or a list of hardware "
+                f"sections, got {type(hardware).__name__}"
+            )
 
     # ------------------------------------------------------------- conversion
     @classmethod
@@ -215,7 +281,8 @@ class ExperimentSpec(ConfigBase):
         unknown = sorted(set(data) - field_names)
         if unknown:
             raise SpecError(f"spec has unknown key(s) {unknown}; valid keys: {sorted(field_names)}")
-        hardware = data.get("hardware", {})
+        # ``hardware`` may be null, one mapping, or a list of mappings; the
+        # constructor coerces and validates all three forms.
         return cls(
             name=data.get("name", "experiment"),
             model=_section_from_dict(ModelSection, data.get("model"), "model"),
@@ -223,7 +290,7 @@ class ExperimentSpec(ConfigBase):
             method=_section_from_dict(MethodSection, data.get("method"), "method"),
             densities=tuple(data.get("densities", ())),
             eval=_section_from_dict(EvalSection, data.get("eval"), "eval"),
-            hardware=None if hardware is None else _section_from_dict(HardwareSection, hardware, "hardware"),
+            hardware=data.get("hardware", {}),
         )
 
     @classmethod
@@ -234,6 +301,27 @@ class ExperimentSpec(ConfigBase):
     def density_grid(self) -> Tuple[float, ...]:
         """Densities to evaluate (falls back to the method's target density)."""
         return self.densities if self.densities else (self.method.target_density,)
+
+    def hardware_points(self) -> Tuple[HardwareSection, ...]:
+        """The hardware section(s) as a tuple (empty for accuracy-only specs)."""
+        if self.hardware is None:
+            return ()
+        if isinstance(self.hardware, HardwareSection):
+            return (self.hardware,)
+        return self.hardware
+
+    def primary_hardware(self) -> Optional[HardwareSection]:
+        """The first hardware point, or ``None`` (what a single session binds)."""
+        points = self.hardware_points()
+        return points[0] if points else None
+
+    def is_hardware_sweep(self) -> bool:
+        """True when ``hardware`` is a list — evaluated per device point."""
+        return not (self.hardware is None or isinstance(self.hardware, HardwareSection))
+
+    def with_hardware(self, hardware: HardwareLike) -> "ExperimentSpec":
+        """Copy of the spec bound to different hardware (point, list, or None)."""
+        return self.replace(hardware=hardware)
 
     def preparation(self) -> PreparationConfig:
         """Model/data sections mapped onto the experiment-prep config."""

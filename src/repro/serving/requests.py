@@ -139,8 +139,9 @@ class GenerationResult:
     ``finish_reason`` says why generation stopped: ``"length"`` (the
     ``max_new_tokens`` budget completed), ``"timeout"`` (the request's
     ``timeout_s`` deadline passed — ``tokens`` holds the partial
-    continuation), or ``"cancelled"`` (explicitly cancelled, e.g. the
-    streaming client disconnected).
+    continuation), ``"cancelled"`` (explicitly cancelled, e.g. the
+    streaming client disconnected), or ``"error"`` (the decode step for
+    this request's batch raised; partial tokens are preserved).
     """
 
     request_id: str

@@ -1,0 +1,66 @@
+"""The documentation link checker, and that the repo's docs pass it."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs_links", REPO_ROOT / "tools" / "check_docs_links.py"
+)
+check_docs_links = importlib.util.module_from_spec(spec)
+sys.modules["check_docs_links"] = check_docs_links
+spec.loader.exec_module(check_docs_links)
+
+
+class TestRepoDocs:
+    def test_repo_docs_have_no_broken_relative_links(self, capsys):
+        assert check_docs_links.main(["--root", str(REPO_ROOT)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_repo_docs_cover_expected_files(self):
+        files = {p.name for p in check_docs_links.doc_files(REPO_ROOT)}
+        assert {"README.md", "API.md", "BENCHMARKS.md"} <= files
+
+
+class TestChecker:
+    def _tree(self, tmp_path: Path) -> Path:
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "GOOD.md").write_text("see [readme](../README.md)\n")
+        (tmp_path / "README.md").write_text("see [api](docs/GOOD.md#anchor)\n")
+        return tmp_path
+
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        assert check_docs_links.main(["--root", str(root)]) == 0
+
+    def test_broken_link_fails_with_location(self, tmp_path, capsys):
+        root = self._tree(tmp_path)
+        (root / "docs" / "BAD.md").write_text("x\nsee [gone](missing.md)\n")
+        assert check_docs_links.main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "BROKEN" in out and "BAD.md:2" in out and "missing.md" in out
+
+    def test_external_fragment_and_escaping_links_skipped(self, tmp_path):
+        root = self._tree(tmp_path)
+        (root / "docs" / "SKIP.md").write_text(
+            "[a](https://example.com/x.md) [b](#local) "
+            "![badge](../../actions/workflows/ci.yml/badge.svg) [m](mailto:x@y.z)\n"
+        )
+        assert check_docs_links.broken_links(root / "docs" / "SKIP.md", root) == []
+
+    def test_links_inside_code_fences_skipped(self, tmp_path):
+        root = self._tree(tmp_path)
+        page = root / "docs" / "FENCE.md"
+        page.write_text(
+            "intro\n```markdown\nsee [example](does/not/exist.md)\n```\n"
+            "[real broken](also-missing.md)\n"
+        )
+        assert check_docs_links.broken_links(page, root) == [(5, "also-missing.md")]
+
+    def test_query_and_fragment_stripped(self, tmp_path):
+        root = self._tree(tmp_path)
+        page = root / "docs" / "Q.md"
+        page.write_text("[q](GOOD.md?plain=1#top)\n[broken](NOPE.md?plain=1)\n")
+        assert check_docs_links.broken_links(page, root) == [(2, "NOPE.md?plain=1")]

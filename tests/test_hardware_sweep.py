@@ -1,0 +1,323 @@
+"""Tests for multi-device hardware sweeps (``hardware`` as a list).
+
+The parity classes re-implement the *pre-migration* Table 6 / Table 7
+protocol (hand-wired ``perplexity`` + ``throughput_for_method`` +
+``find_operating_point`` loops, exactly as the benches did before they moved
+onto ``ExperimentSpec``) and assert the spec-driven ``hardware_sweep`` path
+reproduces the same numbers on the tiny model.
+"""
+
+import pytest
+
+from repro.engine.throughput import throughput_for_method
+from repro.eval.harness import EvaluationSettings
+from repro.eval.operating_point import find_operating_point, operating_point_from_rows
+from repro.eval.perplexity import perplexity
+from repro.hwsim.device import APPLE_A18, DeviceSpec, get_device, register_device, unregister_device
+from repro.hwsim.trace import SyntheticTraceConfig
+from repro.nn.model_zoo import get_model_spec
+from repro.pipeline import (
+    EvalSection,
+    ExperimentSpec,
+    HardwareSection,
+    MethodSection,
+    ModelSection,
+    ResultCache,
+    SparseSession,
+    hardware_sweep,
+    merge_sweep_results,
+    run_experiment,
+)
+from repro.sparsity.registry import create_method
+from repro.utils.units import GB
+
+DENSITIES = (0.4, 0.7)
+SIM_TOKENS = 6
+PPL_BUDGET = 0.5
+
+
+@pytest.fixture()
+def settings() -> EvaluationSettings:
+    return EvaluationSettings(max_eval_sequences=2, max_task_examples=2, calibration_sequences=2)
+
+
+@pytest.fixture()
+def tiny_session(trained_tiny_model, eval_sequences, calibration_sequences, settings):
+    return SparseSession(
+        trained_tiny_model,
+        None,
+        model_spec=get_model_spec("tiny"),
+        settings=settings,
+        model_name="tiny",
+        eval_sequences=eval_sequences,
+        calibration_sequences=calibration_sequences,
+    )
+
+
+def _sweep_spec(method_name: str, points) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"sweep-{method_name}",
+        model=ModelSection(name="tiny"),
+        method=MethodSection(name=method_name),
+        densities=DENSITIES,
+        eval=EvalSection(
+            max_eval_sequences=2, max_task_examples=2, calibration_sequences=2, primary_task=None
+        ),
+        hardware=tuple(points),
+    )
+
+
+def _legacy_point(
+    model, model_spec, eval_seqs, calib, settings, method_name, device, density
+):
+    """One (method, density, device) cell exactly as the pre-migration benches."""
+    method = create_method(method_name, target_density=density)
+    if method.requires_calibration:
+        method.calibrate(model, calib[: settings.calibration_sequences])
+    ppl = perplexity(model, eval_seqs[: settings.max_eval_sequences], method)
+    tput = throughput_for_method(
+        create_method(method_name, target_density=density),
+        model_spec,
+        device,
+        n_tokens=SIM_TOKENS,
+        trace_config=SyntheticTraceConfig(n_tokens=SIM_TOKENS, seed=0),
+    ).tokens_per_second
+    return ppl, tput
+
+
+class TestTable6Parity:
+    """DRAM ablation: sweep numbers must match the hand-wired protocol."""
+
+    @pytest.mark.parametrize("method_name", ["dip", "cats"])
+    def test_sweep_matches_legacy_protocol(
+        self,
+        method_name,
+        tiny_session,
+        trained_tiny_model,
+        eval_sequences,
+        calibration_sequences,
+        settings,
+    ):
+        dram_sizes = (0.25, 1.0)
+        spec = _sweep_spec(
+            method_name,
+            [HardwareSection(dram_gb=g, simulated_tokens=SIM_TOKENS) for g in dram_sizes],
+        )
+        results = hardware_sweep(spec, session=tiny_session)
+        assert len(results) == len(dram_sizes)
+
+        model_spec = get_model_spec("tiny")
+        dense_ppl = perplexity(
+            trained_tiny_model, eval_sequences[: settings.max_eval_sequences], None
+        )
+        for dram_gb, result in zip(dram_sizes, results):
+            device = APPLE_A18.with_dram(dram_gb * GB)
+            legacy_ppls, legacy_tputs = [], []
+            for density in DENSITIES:
+                ppl, tput = _legacy_point(
+                    trained_tiny_model, model_spec, eval_sequences, calibration_sequences,
+                    settings, method_name, device, density,
+                )
+                legacy_ppls.append(ppl)
+                legacy_tputs.append(tput)
+            rows = result.rows()
+            assert [row["perplexity"] for row in rows] == pytest.approx(legacy_ppls)
+            assert [row["tokens/s"] for row in rows] == pytest.approx(legacy_tputs)
+            legacy_op = find_operating_point(
+                DENSITIES, legacy_ppls, legacy_tputs, dense_ppl, PPL_BUDGET, method_name
+            )
+            new_op = operating_point_from_rows(rows, dense_ppl, PPL_BUDGET, method_name)
+            assert new_op.feasible == legacy_op.feasible
+            if legacy_op.feasible:
+                assert new_op.tokens_per_second == pytest.approx(legacy_op.tokens_per_second)
+                assert new_op.density == legacy_op.density
+
+
+class TestTable7Parity:
+    """Flash ablation: ``flash_gbps`` override must match ``with_flash_bandwidth``."""
+
+    def test_flash_override_matches_legacy_protocol(
+        self, tiny_session, trained_tiny_model, eval_sequences, calibration_sequences, settings
+    ):
+        flash_speeds = (0.5, 2.0)
+        spec = _sweep_spec(
+            "dip",
+            [
+                HardwareSection(dram_gb=0.25, flash_gbps=f, simulated_tokens=SIM_TOKENS)
+                for f in flash_speeds
+            ],
+        )
+        results = hardware_sweep(spec, session=tiny_session)
+        model_spec = get_model_spec("tiny")
+        for flash_gbps, result in zip(flash_speeds, results):
+            device = APPLE_A18.with_dram(0.25 * GB).with_flash_bandwidth(flash_gbps * GB)
+            for density, row in zip(DENSITIES, result.rows()):
+                _, tput = _legacy_point(
+                    trained_tiny_model, model_spec, eval_sequences, calibration_sequences,
+                    settings, "dip", device, density,
+                )
+                assert row["tokens/s"] == pytest.approx(tput)
+        # Faster Flash must increase dense-bound throughput in the simulation.
+        assert results[1].throughputs[0].tokens_per_second > results[0].throughputs[0].tokens_per_second
+
+
+class TestSweepMechanics:
+    def test_evaluations_shared_across_points(self, tiny_session, monkeypatch):
+        """The density grid is evaluated once, not once per device."""
+        calls = {"n": 0}
+        original = SparseSession.evaluate
+
+        def counting_evaluate(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SparseSession, "evaluate", counting_evaluate)
+        spec = _sweep_spec(
+            "dip",
+            [HardwareSection(dram_gb=g, simulated_tokens=SIM_TOKENS) for g in (0.25, 0.5, 1.0)],
+        )
+        results = hardware_sweep(spec, session=tiny_session)
+        assert calls["n"] == len(DENSITIES)  # not len(DENSITIES) * 3 points
+        first = [e.perplexity for e in results[0].evaluations]
+        for result in results[1:]:
+            assert [e.perplexity for e in result.evaluations] == first
+
+    def test_repeated_sweep_points_hit_result_cache(self, tiny_session, tmp_path, monkeypatch):
+        spec = _sweep_spec(
+            "dip", [HardwareSection(dram_gb=g, simulated_tokens=SIM_TOKENS) for g in (0.25, 1.0)]
+        )
+        cache = ResultCache(tmp_path)
+        first = hardware_sweep(spec, session=tiny_session, result_cache=cache)
+
+        # A fully cached sweep must not prepare a model or evaluate anything.
+        def forbid_from_spec(*args, **kwargs):
+            raise AssertionError("cache hit expected; from_spec must not run")
+
+        def forbid_evaluate(self, *args, **kwargs):
+            raise AssertionError("cache hit expected; evaluate must not run")
+
+        monkeypatch.setattr(SparseSession, "from_spec", forbid_from_spec)
+        monkeypatch.setattr(SparseSession, "evaluate", forbid_evaluate)
+        second = hardware_sweep(spec, result_cache=cache)
+        for a, b in zip(first, second):
+            assert [e.perplexity for e in a.evaluations] == pytest.approx(
+                [e.perplexity for e in b.evaluations]
+            )
+            assert [t.tokens_per_second for t in a.throughputs] == pytest.approx(
+                [t.tokens_per_second for t in b.throughputs]
+            )
+
+    def test_extending_device_list_only_runs_new_points(self, tiny_session, tmp_path, monkeypatch):
+        base_points = [HardwareSection(dram_gb=0.25, simulated_tokens=SIM_TOKENS)]
+        cache = ResultCache(tmp_path)
+        hardware_sweep(_sweep_spec("dip", base_points), session=tiny_session, result_cache=cache)
+
+        calls = {"n": 0}
+        original = SparseSession.evaluate
+
+        def counting_evaluate(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SparseSession, "evaluate", counting_evaluate)
+        extended = base_points + [HardwareSection(dram_gb=1.0, simulated_tokens=SIM_TOKENS)]
+        results = hardware_sweep(
+            _sweep_spec("dip", extended), session=tiny_session, result_cache=cache
+        )
+        assert len(results) == 2
+        assert calls["n"] == len(DENSITIES)  # the cached point re-used, the new one evaluated
+
+    def test_per_point_artifacts_do_not_overwrite(self, tiny_session, tmp_path):
+        spec = _sweep_spec(
+            "dip", [HardwareSection(dram_gb=g, simulated_tokens=SIM_TOKENS) for g in (0.25, 1.0)]
+        )
+        results = hardware_sweep(spec, session=tiny_session, artifacts_dir=tmp_path)
+        saved = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert len(saved) == 2  # one artifact per device point, not one overwritten file
+        assert saved == sorted(f"{r.spec.name}.json" for r in results)
+        assert all("@" in name for name in saved)
+
+    def test_cache_key_tracks_registered_device_constants(self):
+        device = DeviceSpec(
+            name="test-phone-y",
+            dram_capacity_bytes=1.0 * GB,
+            dram_bandwidth=10.0 * GB,
+            flash_read_bandwidth=0.5 * GB,
+        )
+        register_device(device)
+        try:
+            spec = _sweep_spec("dip", [HardwareSection(device="test-phone-y")])
+            before = ResultCache.key_for(spec)
+            register_device(device.with_flash_bandwidth(2.0 * GB), overwrite=True)
+            after = ResultCache.key_for(spec)
+        finally:
+            unregister_device("test-phone-y")
+        # Same spec text, different resolved device -> different cache key.
+        assert before != after
+
+    def test_run_experiment_merges_sweep_with_hardware_column(self, tiny_session):
+        spec = _sweep_spec(
+            "dip", [HardwareSection(dram_gb=g, simulated_tokens=SIM_TOKENS) for g in (0.25, 1.0)]
+        )
+        merged = run_experiment(spec, session=tiny_session, include_dense=True)
+        rows_per_point = 1 + len(DENSITIES)  # dense + grid
+        assert len(merged.evaluations) == 2 * rows_per_point
+        assert len(merged.throughputs) == 2 * rows_per_point
+        labels = {row["hardware"] for row in merged.rows()}
+        assert labels == {"apple-a18[dram=0.25GB]", "apple-a18[dram=1GB]"}
+        # Round trip through the cache payload keeps the labels.
+        restored = type(merged).from_dict(merged.to_dict())
+        assert restored.hardware_labels == merged.hardware_labels
+
+    def test_merge_sweep_results_labels_align(self, tiny_session):
+        spec = _sweep_spec(
+            "dip", [HardwareSection(dram_gb=g, simulated_tokens=SIM_TOKENS) for g in (0.25, 1.0)]
+        )
+        per_point = hardware_sweep(spec, session=tiny_session)
+        merged = merge_sweep_results(spec, per_point)
+        assert len(merged.hardware_labels) == len(merged.throughputs)
+
+    def test_sweep_rejects_accuracy_only_spec(self, tiny_session):
+        spec = _sweep_spec("dip", [HardwareSection()]).with_hardware(None)
+        with pytest.raises(ValueError, match="hardware point"):
+            hardware_sweep(spec, session=tiny_session)
+
+    def test_sweep_rejects_session_without_model_spec(
+        self, trained_tiny_model, eval_sequences, settings
+    ):
+        # A session that cannot simulate throughput must not silently produce
+        # N duplicated accuracy rows.
+        session = SparseSession(
+            trained_tiny_model, None, settings=settings, eval_sequences=eval_sequences
+        )
+        spec = _sweep_spec("dip", [HardwareSection(simulated_tokens=SIM_TOKENS)])
+        with pytest.raises(ValueError, match="model_spec"):
+            hardware_sweep(spec, session=session)
+
+
+class TestDeviceRegistry:
+    def test_register_device_makes_spec_valid(self):
+        device = DeviceSpec(
+            name="test-phone-x",
+            dram_capacity_bytes=1.0 * GB,
+            dram_bandwidth=10.0 * GB,
+            flash_read_bandwidth=0.5 * GB,
+        )
+        register_device(device)
+        try:
+            assert get_device("test-phone-x") == device
+            section = HardwareSection(device="test-phone-x")
+            assert section.device_spec() == device
+        finally:
+            unregister_device("test-phone-x")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_device(APPLE_A18)
+        # ...unless explicitly overwritten.
+        register_device(APPLE_A18, overwrite=True)
+
+    def test_unknown_device_not_resolvable_after_unregister(self):
+        unregister_device("never-registered")  # no-op
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("never-registered")

@@ -53,6 +53,34 @@ class TestRoundTrip:
         assert spec.method.name == "cats"
         assert spec.model.name == "phi3-medium"  # default
 
+    def test_hardware_list_round_trip(self):
+        spec = ExperimentSpec(
+            name="sweep",
+            hardware=[
+                HardwareSection(dram_gb=2.0),
+                HardwareSection(dram_gb=4.0, flash_gbps=2.0),
+            ],
+        )
+        payload = spec.to_dict()
+        assert isinstance(payload["hardware"], list) and len(payload["hardware"]) == 2
+        restored = ExperimentSpec.from_json(json.dumps(payload))
+        assert restored == spec
+        assert restored.content_hash() == spec.content_hash()
+        assert restored.hardware_points() == spec.hardware_points()
+
+    def test_hardware_list_from_dict_of_mappings(self):
+        spec = ExperimentSpec.from_dict(
+            {"hardware": [{"device": "apple-a18", "dram_gb": 2.0}, {"device": "budget-phone"}]}
+        )
+        assert spec.is_hardware_sweep()
+        assert [p.device for p in spec.hardware_points()] == ["apple-a18", "budget-phone"]
+
+    def test_hardware_single_vs_list_hash_distinct_but_stable(self):
+        single = ExperimentSpec(hardware=HardwareSection(dram_gb=2.0))
+        listed = ExperimentSpec(hardware=[HardwareSection(dram_gb=2.0)])
+        assert single.content_hash() == single.replace().content_hash()  # deterministic
+        assert single.content_hash() != listed.content_hash()  # distinct forms
+
 
 class TestValidation:
     def test_unknown_model(self):
@@ -82,6 +110,24 @@ class TestValidation:
             HardwareSection(device="abacus")
         with pytest.raises(SpecError, match="cache policy"):
             HardwareSection(cache_policy="random")
+
+    def test_hardware_overrides_validated(self):
+        with pytest.raises(SpecError, match="flash_gbps"):
+            HardwareSection(flash_gbps=-1.0)
+        with pytest.raises(SpecError, match="dram_gb"):
+            HardwareSection(dram_gb=0.0)
+
+    def test_empty_hardware_list_rejected(self):
+        with pytest.raises(SpecError, match="at least one device point"):
+            ExperimentSpec(hardware=[])
+
+    def test_hardware_list_element_validated(self):
+        with pytest.raises(SpecError, match=r"hardware\[1\]"):
+            ExperimentSpec(hardware=[{"device": "apple-a18"}, {"dram": 2.0}])
+
+    def test_hardware_wrong_type_rejected(self):
+        with pytest.raises(SpecError, match="spec.hardware must be"):
+            ExperimentSpec(hardware="apple-a18")
 
     def test_from_dict_unknown_top_level_key(self):
         with pytest.raises(SpecError, match="unknown key"):
@@ -124,6 +170,23 @@ class TestDerivation:
     def test_device_spec_with_dram_override(self):
         hardware = HardwareSection(device="apple-a18", dram_gb=2.0)
         assert hardware.device_spec().dram_capacity_bytes == pytest.approx(2.0 * GB)
+
+    def test_device_spec_with_flash_override(self):
+        hardware = HardwareSection(device="apple-a18", dram_gb=2.0, flash_gbps=0.5)
+        device = hardware.device_spec()
+        assert device.flash_read_bandwidth == pytest.approx(0.5 * GB)
+        assert hardware.label() == "apple-a18[dram=2GB,flash=0.5GB/s]"
+        assert HardwareSection().label() == "apple-a18"
+
+    def test_hardware_points_helpers(self):
+        assert ExperimentSpec(hardware=None).hardware_points() == ()
+        assert ExperimentSpec(hardware=None).primary_hardware() is None
+        single = ExperimentSpec()
+        assert single.hardware_points() == (single.hardware,)
+        assert not single.is_hardware_sweep()
+        sweep = single.with_hardware([HardwareSection(), HardwareSection(dram_gb=2.0)])
+        assert sweep.is_hardware_sweep()
+        assert sweep.primary_hardware() == HardwareSection()
 
     def test_eval_settings_mapping(self):
         settings = _custom_spec().eval.settings()

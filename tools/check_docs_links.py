@@ -1,0 +1,93 @@
+"""Fail on broken relative links in the repo's Markdown documentation.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links/images whose target
+is a *relative* path and exits non-zero if any target does not exist on
+disk.  Skipped: external ``http(s)``/``mailto`` URLs, pure ``#fragment``
+anchors, anything inside fenced code blocks (illustrative snippets), and
+targets that resolve *outside* the repository root (e.g. the README's forge
+badge path ``../../actions/...`` — those address the hosting UI, not the
+working tree).  Query strings and fragments are stripped; targets resolve
+against the file containing the link.
+
+Usage::
+
+    python tools/check_docs_links.py            # check the repo this file lives in
+    python tools/check_docs_links.py --root DIR # check another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links and images: ``[text](target)`` / ``![alt](target)``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path) -> List[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def broken_links(path: Path, root: Path) -> List[Tuple[int, str]]:
+    """(line number, target) pairs whose relative target does not exist."""
+    broken = []
+    root = root.resolve()
+    in_fence = False
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue  # illustrative snippets are not real document links
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            cleaned = target.split("#", 1)[0].split("?", 1)[0]
+            if not cleaned:
+                continue
+            resolved = (path.parent / cleaned).resolve()
+            if not resolved.is_relative_to(root):
+                continue  # escapes the repo on purpose (forge UI paths)
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=_ROOT,
+                        help=f"repository root to scan (default: {_ROOT})")
+    args = parser.parse_args(argv)
+
+    files = doc_files(args.root)
+    if not files:
+        print(f"no documentation files found under {args.root}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for line_number, target in broken_links(path, args.root):
+            print(f"BROKEN {path.relative_to(args.root)}:{line_number}: {target}")
+            failures += 1
+    checked = ", ".join(str(p.relative_to(args.root)) for p in files)
+    if failures:
+        print(f"\nFAIL: {failures} broken relative link(s) in: {checked}", file=sys.stderr)
+        return 1
+    print(f"ok: no broken relative links in: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
