@@ -29,17 +29,40 @@ _ROOT = Path(__file__).resolve().parent.parent
 
 #: file name -> {dotted metric path: direction}.  ``"higher"`` metrics fail
 #: when the new value drops more than the tolerance below the baseline.
+#:
+#: This table must cover *every* ratio leaf (``speedup``, ``speedup_vs_*``,
+#: ``*_fraction``, ``*_rate``) of the committed baselines, and nothing else —
+#: reprolint rule RL004 enforces the 1:1 mapping so the nightly gate can never
+#: silently skip a benchmark metric.
 TRACKED_METRICS = {
     "BENCH_batched_inference.json": {
         "methods.dense.speedup": "higher",
         "methods.dip.speedup": "higher",
     },
     "BENCH_serving.json": {
+        "strategies.continuous.speedup_vs_lockstep": "higher",
         "strategies.continuous.speedup_vs_sequential": "higher",
+        "strategies.lockstep.speedup_vs_sequential": "higher",
     },
     "BENCH_prefix_cache.json": {
-        "methods.dip.prefill_saved_fraction": "higher",
+        "methods.cats.prefill_saved_fraction": "higher",
+        "methods.cats.speedup": "higher",
+        "methods.dejavu.prefill_saved_fraction": "higher",
+        "methods.dejavu.speedup": "higher",
         "methods.dense.prefill_saved_fraction": "higher",
+        "methods.dense.speedup": "higher",
+        "methods.dip-ca.prefill_saved_fraction": "higher",
+        "methods.dip-ca.speedup": "higher",
+        "methods.dip.prefill_saved_fraction": "higher",
+        "methods.dip.speedup": "higher",
+        "methods.gate.prefill_saved_fraction": "higher",
+        "methods.gate.speedup": "higher",
+        "methods.glu-oracle.prefill_saved_fraction": "higher",
+        "methods.glu-oracle.speedup": "higher",
+        "methods.glu.prefill_saved_fraction": "higher",
+        "methods.glu.speedup": "higher",
+        "methods.up.prefill_saved_fraction": "higher",
+        "methods.up.speedup": "higher",
     },
 }
 

@@ -156,7 +156,7 @@ def synthesize_trace(
         if group.is_dense:
             group_traces.append(GroupTrace(group=group, n_tokens=config.n_tokens))
             continue
-        group_seed = (config.seed * 1_000_003 + seed_from_string(f"{group.layer_index}-{group.matrix}")) % (2**63 - 1)
+        group_seed = (config.seed * 1_000_003 + seed_from_string(f"{group.layer_index}-{group.matrix}")) % (2**63 - 1)  # reprolint: disable=RL005 -- hash-mixing prime for seed derivation, not a device capability
         factory = _make_score_factory(config.n_tokens, group.n_units, config, group_seed)
         group_traces.append(
             GroupTrace(group=group, n_tokens=config.n_tokens, score_factory=factory)

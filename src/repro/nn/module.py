@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -105,17 +105,17 @@ class Module:
             param.data = value.copy()
 
     # -------------------------------------------------------------- interface
-    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+    def forward(self, *args: Any, **kwargs: Any) -> Any:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
         return self.forward(*args, **kwargs)
 
 
 class ModuleList(Module):
     """A list of submodules registered with numeric names."""
 
-    def __init__(self, modules: Optional[List[Module]] = None):
+    def __init__(self, modules: Optional[List[Module]] = None) -> None:
         super().__init__()
         self._items: List[Module] = []
         for module in modules or []:
@@ -134,5 +134,5 @@ class ModuleList(Module):
     def __getitem__(self, index: int) -> Module:
         return self._items[index]
 
-    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+    def forward(self, *args: Any, **kwargs: Any) -> Any:  # pragma: no cover - container only
         raise RuntimeError("ModuleList is a container and cannot be called")

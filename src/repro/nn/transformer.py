@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,7 +16,7 @@ from repro.nn.mlp import GLUMLPConfig, SwiGLUMLP
 from repro.nn.module import Module, ModuleList
 from repro.nn.norm import RMSNorm
 from repro.utils.config import ConfigBase
-from repro.utils.rng import new_rng, spawn_rng
+from repro.utils.rng import SeedLike, new_rng, spawn_rng
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,7 +90,9 @@ def _sample_token(logits: np.ndarray, temperature: float, rng) -> int:
 MASKED_BIAS = -1e9
 
 
-def left_pad_ragged(prompts: Sequence[np.ndarray], pad_id: int = 0):
+def left_pad_ragged(
+    prompts: Sequence[np.ndarray], pad_id: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Left-pad ragged token sequences into one rectangular batch.
 
     Returns ``(padded, position_ids, key_bias, lengths)``:
@@ -150,7 +152,7 @@ class TransformerBlock(Module):
         self,
         x: np.ndarray,
         kv_cache: Optional[KVCache] = None,
-        mlp_override=None,
+        mlp_override: Optional[Callable[..., np.ndarray]] = None,
         attention_mask: Optional[np.ndarray] = None,
         position_ids: Optional[np.ndarray] = None,
     ) -> np.ndarray:
@@ -220,7 +222,7 @@ class CausalLM(Module):
         self,
         token_ids: np.ndarray,
         kv_caches: Optional[List[KVCache]] = None,
-        mlp_override=None,
+        mlp_override: Optional[Callable[..., np.ndarray]] = None,
         return_hidden: bool = False,
         last_only: bool = False,
         attention_mask: Optional[np.ndarray] = None,
@@ -276,8 +278,8 @@ class CausalLM(Module):
         prompt_ids: Sequence[int],
         max_new_tokens: int,
         temperature: float = 1.0,
-        rng=None,
-        mlp_override=None,
+        rng: SeedLike = None,
+        mlp_override: Optional[Callable[..., np.ndarray]] = None,
     ) -> np.ndarray:
         """Autoregressive sampling (greedy when ``temperature == 0``)."""
         rng = new_rng(rng)
@@ -303,8 +305,8 @@ class CausalLM(Module):
         prompts: np.ndarray,
         max_new_tokens: int,
         temperature: float = 1.0,
-        rng=None,
-        mlp_override=None,
+        rng: SeedLike = None,
+        mlp_override: Optional[Callable[..., np.ndarray]] = None,
         pad_id: int = 0,
     ) -> np.ndarray:
         """Autoregressive sampling for a batch of (possibly ragged) prompts.

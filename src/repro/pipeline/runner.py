@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.engine.throughput import ThroughputEstimate
 from repro.eval.harness import MethodEvaluation
@@ -34,7 +34,10 @@ from repro.utils.config import config_hash
 from repro.utils.logging import get_logger
 
 from repro.pipeline.session import MethodLike, SparseSession
-from repro.pipeline.spec import ExperimentSpec
+from repro.pipeline.spec import ExperimentSpec, HardwareSection
+
+if TYPE_CHECKING:
+    from repro.experiments.artifacts import ArtifactCache
 
 logger = get_logger("pipeline.runner")
 
@@ -42,7 +45,9 @@ logger = get_logger("pipeline.runner")
 MethodRef = Union[str, None, Callable[[float], Optional[SparsityMethod]]]
 
 
-def _method_at(ref: MethodRef, density: float, kwargs: Optional[Mapping[str, Any]] = None):
+def _method_at(
+    ref: MethodRef, density: float, kwargs: Optional[Mapping[str, Any]] = None
+) -> Optional[SparsityMethod]:
     """Instantiate ``ref`` at ``density`` (name, factory, or None for dense)."""
     if ref is None:
         return None
@@ -106,6 +111,7 @@ class ExperimentResult:
         for index, evaluation in enumerate(self.evaluations):
             row = evaluation.row()
             if labelled:
+                assert labels is not None  # implied by `labelled`
                 row["hardware"] = labels[index]
             if paired:
                 estimate = self.throughputs[index]
@@ -232,7 +238,7 @@ def _coerce_result_cache(
     return ResultCache(result_cache)
 
 
-def _throughput_at(bound: SparseSession, hardware) -> ThroughputEstimate:
+def _throughput_at(bound: SparseSession, hardware: HardwareSection) -> ThroughputEstimate:
     """Simulate ``bound``'s method on one hardware point of a spec."""
     return bound.throughput(
         device=hardware.device_spec(),
@@ -248,7 +254,7 @@ def hardware_sweep(
     spec: ExperimentSpec,
     *,
     session: Optional[SparseSession] = None,
-    cache=None,
+    cache: Optional[ArtifactCache] = None,
     include_dense: bool = False,
     artifacts_dir: Optional[Union[str, Path]] = None,
     result_cache: Union[None, bool, str, Path, ResultCache] = None,
@@ -272,7 +278,7 @@ def hardware_sweep(
         )
     cache_store = _coerce_result_cache(result_cache)
 
-    def _sub_spec(point) -> ExperimentSpec:
+    def _sub_spec(point: HardwareSection) -> ExperimentSpec:
         sub = spec.with_hardware(point)
         if len(points) > 1:
             # Distinct per-point names keep per-point artifacts (``save`` writes
@@ -288,9 +294,10 @@ def hardware_sweep(
             key = ResultCache.key_for(sub_spec, include_dense=include_dense)
             if cache_store.has(key):
                 logger.info("result cache hit for sweep point '%s' (%s)", point.label(), key)
-                results[index] = cache_store.load(key)
+                cached = cache_store.load(key)
+                results[index] = cached
                 if artifacts_dir is not None:
-                    results[index].save(artifacts_dir)
+                    cached.save(artifacts_dir)
                 continue
         pending.append(index)
 
@@ -326,7 +333,9 @@ def hardware_sweep(
             if artifacts_dir is not None:
                 result.save(artifacts_dir)
             results[index] = result
-    return results  # type: ignore[return-value]
+    final = [result for result in results if result is not None]
+    assert len(final) == len(points)  # every point is either cached or pending
+    return final
 
 
 def merge_sweep_results(
@@ -349,7 +358,7 @@ def run_experiment(
     spec: ExperimentSpec,
     *,
     session: Optional[SparseSession] = None,
-    cache=None,
+    cache: Optional[ArtifactCache] = None,
     include_dense: bool = False,
     artifacts_dir: Optional[Union[str, Path]] = None,
     result_cache: Union[None, bool, str, Path, ResultCache] = None,
@@ -396,20 +405,20 @@ def run_experiment(
                 cached.save(artifacts_dir)
             return cached
 
-    if session is None:
-        session = SparseSession.from_spec(spec, cache=cache)
+    active = session if session is not None else SparseSession.from_spec(spec, cache=cache)
 
     evaluations: List[MethodEvaluation] = []
     throughputs: List[ThroughputEstimate] = []
     # The spec argument is authoritative for throughput: a reused session may
     # have been built from a different (or no) hardware section.
     hardware = spec.primary_hardware()
-    wants_throughput = hardware is not None and session.model_spec is not None
+    wants_throughput = hardware is not None and active.model_spec is not None
 
     def _run(method: MethodLike) -> None:
-        bound = session.with_method(method)
+        bound = active.with_method(method)
         evaluations.append(bound.evaluate())
         if wants_throughput:
+            assert hardware is not None  # implied by wants_throughput
             throughputs.append(_throughput_at(bound, hardware))
 
     if include_dense:

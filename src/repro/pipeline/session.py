@@ -13,7 +13,7 @@ type-checks concrete methods.
 from __future__ import annotations
 
 import copy
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -31,6 +31,10 @@ from repro.sparsity.registry import REGISTRY
 from repro.utils.logging import get_logger
 
 from repro.pipeline.spec import ExperimentSpec, HardwareSection
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.experiments.artifacts import ArtifactCache
+    from repro.experiments.models import PreparedModel
 
 logger = get_logger("pipeline.session")
 
@@ -61,11 +65,11 @@ class SparseSession:
         task_suite: Optional[Dict[str, MultipleChoiceTask]] = None,
         dense_ppl: Optional[float] = None,
         record_masks: bool = False,
-    ):
+    ) -> None:
         if isinstance(method, str):
             method = REGISTRY.create(method)
         self.method: SparsityMethod = method if method is not None else DenseBaseline()
-        self.model = model
+        self.model: Optional[CausalLM] = model
         self.model_spec = model_spec
         self.device = device
         self.hardware = hardware
@@ -76,7 +80,7 @@ class SparseSession:
         self.primary_task = primary_task
         self.task_suite = task_suite
         self.dense_ppl = dense_ppl
-        self.engine = (
+        self.engine: Optional[SparseInferenceEngine] = (
             SparseInferenceEngine(model, self.method, record_masks=record_masks)
             if model is not None
             else None
@@ -89,8 +93,8 @@ class SparseSession:
         cls,
         spec: ExperimentSpec,
         *,
-        prepared=None,
-        cache=None,
+        prepared: Optional[PreparedModel] = None,
+        cache: Optional[ArtifactCache] = None,
         prepare: bool = True,
         method: MethodLike = None,
     ) -> "SparseSession":
@@ -214,6 +218,7 @@ class SparseSession:
                     "calibrate() or construct the session with calibration_sequences"
                 )
             sequences = self.calibration_sequences[: self.settings.calibration_sequences]
+        assert self.model is not None  # _require_model above
         self.method.calibrate(self.model, sequences)
         self._calibrated = True
 
@@ -240,6 +245,7 @@ class SparseSession:
         self.reset()
         if batch_size is None:
             batch_size = self.settings.batch_size
+        assert self.engine is not None  # _require_model above
         return self.engine.perplexity(sequences, max_sequences=max_sequences, batch_size=batch_size)
 
     def accuracy(
@@ -258,6 +264,7 @@ class SparseSession:
         if task is None:
             raise ValueError("no task given and the session has no primary task")
         self.calibrate()
+        assert self.model is not None  # _require_model above
         return task_accuracy(
             self.model,
             task,
@@ -274,6 +281,7 @@ class SparseSession:
         if max_examples is None:
             max_examples = self.settings.max_task_examples
         self.calibrate()
+        assert self.model is not None  # _require_model above
         return suite_accuracy(
             self.model,
             self.task_suite,
@@ -325,6 +333,7 @@ class SparseSession:
         self.reset()
         if batch_size is None:
             batch_size = self.settings.batch_size
+        assert self.engine is not None  # _require_model above
         return self.engine.collect_masks(sequences, batch_size=batch_size)
 
     def generate(
@@ -332,7 +341,7 @@ class SparseSession:
         prompts: np.ndarray,
         max_new_tokens: int,
         temperature: float = 1.0,
-        rng=None,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Sample continuations under the active method.
 
@@ -344,6 +353,7 @@ class SparseSession:
         self._require_model("generate")
         self.calibrate()
         self.reset()
+        assert self.engine is not None  # _require_model above
         prompts = np.asarray(prompts, dtype=np.int64)
         if prompts.ndim == 1:
             return self.engine.generate(prompts, max_new_tokens, temperature=temperature, rng=rng)

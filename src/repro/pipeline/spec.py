@@ -308,7 +308,7 @@ class ExperimentSpec(ConfigBase):
             return ()
         if isinstance(self.hardware, HardwareSection):
             return (self.hardware,)
-        return self.hardware
+        return tuple(self.hardware)
 
     def primary_hardware(self) -> Optional[HardwareSection]:
         """The first hardware point, or ``None`` (what a single session binds)."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.pipeline.session import SparseSession
 from repro.utils.logging import get_logger
@@ -31,7 +31,7 @@ class SessionPool:
     method state.
     """
 
-    def __init__(self, session: SparseSession, size: int = 2, calibrate: bool = True):
+    def __init__(self, session: SparseSession, size: int = 2, calibrate: bool = True) -> None:
         if size <= 0:
             raise ValueError("pool size must be positive")
         if calibrate:
@@ -51,7 +51,7 @@ class SessionPool:
     def acquire(self, timeout: Optional[float] = None) -> SparseSession:
         """Check a worker out (blocking until one frees up)."""
         with self._condition:
-            if not self._condition.wait_for(lambda: self._free, timeout=timeout):
+            if not self._condition.wait_for(lambda: bool(self._free), timeout=timeout):
                 raise TimeoutError(f"no free worker after {timeout:.1f}s (pool size {self.size})")
             worker = self._free.pop()
             self._acquired_total += 1
@@ -70,7 +70,7 @@ class SessionPool:
             self._condition.notify()
 
     @contextlib.contextmanager
-    def borrow(self, timeout: Optional[float] = None):
+    def borrow(self, timeout: Optional[float] = None) -> Iterator[SparseSession]:
         """``with pool.borrow() as session:`` — acquire/release as a scope."""
         worker = self.acquire(timeout=timeout)
         try:

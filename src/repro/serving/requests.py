@@ -12,12 +12,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar, Union
 
 import numpy as np
 
 from repro.pipeline.runner import ResultCache, run_experiment
+from repro.pipeline.session import SparseSession
 from repro.pipeline.spec import ExperimentSpec
+
+_PayloadT = TypeVar("_PayloadT")
 
 
 class RequestError(ValueError):
@@ -29,7 +32,7 @@ def _check(condition: bool, message: str) -> None:
         raise RequestError(message)
 
 
-def _from_mapping(cls, data: Mapping[str, Any], what: str):
+def _from_mapping(cls: Type[_PayloadT], data: Mapping[str, Any], what: str) -> _PayloadT:
     """Build a payload dataclass from a mapping, rejecting unknown/missing keys."""
     if not isinstance(data, Mapping):
         raise RequestError(f"{what} payload must be a mapping, got {type(data).__name__}")
@@ -76,7 +79,7 @@ class GenerationRequest:
     timeout_s: Optional[float] = None
     cache_prefix: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         try:
             tokens = tuple(int(t) for t in self.prompt)
         except (TypeError, ValueError) as exc:
@@ -151,7 +154,7 @@ class GenerationResult:
     queued_seconds: float = 0.0
     decode_seconds: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "prompt", tuple(int(t) for t in self.prompt))
         object.__setattr__(self, "tokens", tuple(int(t) for t in self.tokens))
 
@@ -182,7 +185,7 @@ class GenerationResult:
 def run_experiment_payload(
     payload: Union[str, Mapping[str, Any]],
     *,
-    session=None,
+    session: Optional[SparseSession] = None,
     include_dense: bool = False,
     result_cache: Union[None, bool, ResultCache] = None,
 ) -> Dict[str, Any]:

@@ -70,7 +70,7 @@ class SchedulerConfig:
     #: Token granularity of prefix sharing (trie block size).
     prefix_block_size: int = 16
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if self.max_queue <= 0:
@@ -89,12 +89,15 @@ class _Entry:
     __slots__ = ("request", "rng", "tokens", "stream", "slot", "last_token", "error",
                  "submitted_at", "started_at", "finished_at", "deadline", "finish_reason")
 
-    def __init__(self, request: GenerationRequest):
+    def __init__(self, request: GenerationRequest) -> None:
         self.request = request
         self.rng = new_rng(request.seed)
         self.tokens: List[int] = []
-        self.stream: asyncio.Queue = asyncio.Queue()
+        self.stream: asyncio.Queue[object] = asyncio.Queue()
         self.slot: Optional[int] = None
+        # The token fed back at the next decode step; always written by the
+        # admission-time _emit before any _step reads it.
+        self.last_token: int = -1
         self.error: Optional[BaseException] = None
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
@@ -135,7 +138,7 @@ class TokenStream:
     can correlate the stream with ``stats()`` and server logs.
     """
 
-    def __init__(self, entry: _Entry):
+    def __init__(self, entry: _Entry) -> None:
         self._entry = entry
 
     @property
@@ -160,6 +163,7 @@ class TokenStream:
             if item is _DONE:
                 ContinuousBatchingScheduler._raise_if_failed(self._entry)
                 return
+            assert isinstance(item, int)  # the queue carries tokens and _DONE
             yield item
 
 
@@ -179,7 +183,7 @@ class ContinuousBatchingScheduler:
             result = await scheduler.submit(GenerationRequest(prompt=(1, 2, 3)))
     """
 
-    def __init__(self, session: SparseSession, config: Optional[SchedulerConfig] = None):
+    def __init__(self, session: SparseSession, config: Optional[SchedulerConfig] = None) -> None:
         if session.engine is None:
             raise ValueError("the scheduler needs a session with a prepared model")
         self.session = session
@@ -205,7 +209,7 @@ class ContinuousBatchingScheduler:
         self._waiting: List[_Entry] = []
         self._active: Dict[int, _Entry] = {}  # slot -> entry
         self._wake = asyncio.Event()
-        self._task: Optional[asyncio.Task] = None
+        self._task: Optional[asyncio.Task[None]] = None
         self._stopping = False
         self._request_counter = 0
         # Counters for /stats.
@@ -239,7 +243,7 @@ class ContinuousBatchingScheduler:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.stop()
 
     # ------------------------------------------------------------------ intake
@@ -473,8 +477,12 @@ class ContinuousBatchingScheduler:
                 continue
             started = time.perf_counter()
             self._expire_deadlines()
-            self._admit()
-            self._step()
+            # The decode loop is deliberately lock-step: one numpy forward per
+            # iteration on the loop thread, with an await-point between steps.
+            # Offloading each step would add an executor hop per token and
+            # serialise against the session pool anyway.
+            self._admit()  # reprolint: disable=RL001 -- deliberate lock-step admission into the decode batch
+            self._step()  # reprolint: disable=RL001 -- deliberate lock-step decode step; yields via sleep(0) below
             self._busy_seconds += time.perf_counter() - started
             # Yield so clients can consume streams and new submissions land.
             await asyncio.sleep(0)

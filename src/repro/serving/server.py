@@ -40,7 +40,7 @@ _MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
 class _HTTPError(Exception):
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
@@ -106,14 +106,14 @@ class ServingServer:
         port: int = 0,
         config: Optional[SchedulerConfig] = None,
         pool_size: int = 2,
-    ):
+    ) -> None:
         # The pool calibrates the base session once; the scheduler gets its
         # own calibration-sharing worker so /experiment never borrows it.
         self.pool = SessionPool(session, size=pool_size)
         self.scheduler = ContinuousBatchingScheduler(session.share_calibration(), config)
         self.host = host
         self.port = port
-        self._server: Optional[asyncio.base_events.Server] = None
+        self._server: Optional[asyncio.Server] = None
 
     # ---------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -132,6 +132,7 @@ class ServingServer:
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
+        assert self._server is not None  # start() above binds it
         await self._server.serve_forever()
 
     @property
@@ -191,7 +192,7 @@ class ServingServer:
         token_stream = self.scheduler.stream(request)
         writer.write(_response_head(200, "application/x-ndjson", "Transfer-Encoding: chunked\r\n"))
         index = 0
-        tokens = []
+        tokens: list = []
         final = {"done": True, "request_id": token_stream.request_id,
                  "prompt": list(request.prompt), "tokens": tokens}
         try:
@@ -242,7 +243,7 @@ class BackgroundServer:
         background.stop()
     """
 
-    def __init__(self, session: SparseSession, **server_kwargs):
+    def __init__(self, session: SparseSession, **server_kwargs: Any) -> None:
         self._session = session
         self._server_kwargs = server_kwargs
         self.server: Optional[ServingServer] = None
@@ -272,12 +273,13 @@ class BackgroundServer:
         future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
         future.result(timeout)
         self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
 
     def __enter__(self) -> "BackgroundServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
     def _main(self) -> None:

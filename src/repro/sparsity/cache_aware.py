@@ -136,6 +136,7 @@ class CacheAwareDIP(DynamicInputPruning):
     def __init__(
         self,
         target_density: float = 0.5,
+        *,
         gamma: float = 0.2,
         cache_fraction: float = 0.5,
         allocation: Optional[DIPDensityAllocation] = None,

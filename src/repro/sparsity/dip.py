@@ -43,6 +43,7 @@ class DynamicInputPruning(SparsityMethod):
     def __init__(
         self,
         target_density: float = 0.5,
+        *,
         allocation: Optional[DIPDensityAllocation] = None,
     ):
         super().__init__(target_density=target_density)

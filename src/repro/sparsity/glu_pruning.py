@@ -42,6 +42,7 @@ class GLUPruning(SparsityMethod):
     def __init__(
         self,
         target_density: float = 0.5,
+        *,
         oracle: bool = False,
         threshold_strategy: Optional[ThresholdStrategy] = None,
         keep_fraction: Optional[float] = None,

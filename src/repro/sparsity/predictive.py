@@ -46,6 +46,7 @@ class PredictiveGLUPruning(SparsityMethod):
     def __init__(
         self,
         target_density: float = 0.5,
+        *,
         predictors: Optional[Sequence] = None,
         predictor_hidden: int = 64,
         predictor_epochs: int = 10,

@@ -32,6 +32,7 @@ from repro.sparsity.dip import DynamicInputPruning
 from repro.sparsity.gate_pruning import GatePruning, UpPruning
 from repro.sparsity.glu_pruning import GLUPruning
 from repro.sparsity.predictive import PredictiveGLUPruning
+from repro.sparsity.thresholding import ThresholdStrategy
 
 MethodFactory = Callable[..., SparsityMethod]
 
@@ -95,7 +96,7 @@ class MethodInfo:
 class MethodRegistry:
     """Name → :class:`MethodInfo` mapping with validated instantiation."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._methods: Dict[str, MethodInfo] = {}
 
     # -------------------------------------------------------------- registration
@@ -238,7 +239,8 @@ register_method("dip-ca", doc="Cache-aware DIP (§5.2, Eq. 10, Algorithm 1).")(C
 @register_method("glu", doc="GLU pruning: only W_d sparsified (§3.2, Fig. 5a).")
 def _glu(
     target_density: float = 0.5,
-    threshold_strategy=None,
+    *,
+    threshold_strategy: Optional[ThresholdStrategy] = None,
     keep_fraction: Optional[float] = None,
 ) -> GLUPruning:
     return GLUPruning(
@@ -249,7 +251,8 @@ def _glu(
 @register_method("glu-oracle", doc="GLU pruning with an oracle that also skips W_u/W_g rows.")
 def _glu_oracle(
     target_density: float = 0.5,
-    threshold_strategy=None,
+    *,
+    threshold_strategy: Optional[ThresholdStrategy] = None,
     keep_fraction: Optional[float] = None,
 ) -> GLUPruning:
     return GLUPruning(

@@ -1,0 +1,11 @@
+"""RL001 bad: direct blocking calls inside ``async def`` (two findings)."""
+
+import time
+
+
+class Handler:
+    async def handle(self, model, prompt):
+        return model.forward_array(prompt)  # blocking numpy forward on the loop
+
+    async def pause(self):
+        time.sleep(0.1)  # blocks every in-flight request

@@ -1,0 +1,9 @@
+"""RL001 bad: an async def reaching blocking compute through a sync helper."""
+
+
+class Worker:
+    def _evaluate(self, session):
+        return session.perplexity()
+
+    async def handle(self, session):
+        return self._evaluate(session)  # transitively blocking

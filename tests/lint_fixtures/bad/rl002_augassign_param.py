@@ -1,0 +1,6 @@
+"""RL002 bad: augmented assignment mutates a borrowed parameter in place."""
+
+
+def accumulate(acc, update):
+    acc += update  # in-place for ndarrays: mutates the caller's buffer
+    return acc

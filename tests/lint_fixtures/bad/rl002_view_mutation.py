@@ -1,0 +1,14 @@
+"""RL002 bad: writing through a view of a parameter, and ``out=`` into one."""
+
+import numpy as np
+
+
+def mask_rows(x, sel):
+    rows = x[sel]
+    rows[:] = 0.0  # writes through a view of the borrowed buffer
+    return x
+
+
+def scale(x, factor):
+    np.multiply(x, factor, out=x)  # out= aliases the borrowed buffer
+    return x

@@ -1,0 +1,9 @@
+"""RL003 bad: wrong ``compute_masks`` signature and no ``reset()`` (two findings)."""
+
+from repro.sparsity.registry import register_method
+
+
+@register_method("fixture-bad-signature", doc="Wrong compute_masks signature.")
+class BadSignature:
+    def compute_masks(self, module, idx, activations):
+        return None

@@ -1,0 +1,15 @@
+"""RL003 bad: positional config params and an empty ``doc=`` (two findings)."""
+
+from repro.sparsity.registry import register_method
+
+
+@register_method("fixture-positional", doc="")
+class Positional:
+    def __init__(self, target_density=0.5, beta=1.0):
+        self.beta = beta
+
+    def reset(self):
+        pass
+
+    def compute_masks(self, mlp, layer_index, x):
+        return None

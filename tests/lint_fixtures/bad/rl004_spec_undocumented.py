@@ -1,0 +1,11 @@
+"""RL004 bad: ``hidden_knob``/``other_knob`` never appear in ``docs/API.md``."""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSection:
+    name: str = "tiny"
+    seed: int = 0
+    hidden_knob: int = 3
+    other_knob: float = 0.5

@@ -1,0 +1,10 @@
+"""RL004 bad: an untracked ratio metric, a phantom entry, and a ghost baseline."""
+
+TRACKED_METRICS = {
+    "BENCH_fixture.json": {
+        "methods.dip.phantom_rate": "higher",
+    },
+    "BENCH_ghost.json": {
+        "methods.dip.speedup": "higher",
+    },
+}

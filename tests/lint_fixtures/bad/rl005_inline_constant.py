@@ -1,0 +1,5 @@
+"""RL005 bad: a bare device-scale constant buried in simulator math."""
+
+
+def bandwidth_seconds(n_bytes):
+    return n_bytes / 900e9  # HBM bandwidth forked from the registry

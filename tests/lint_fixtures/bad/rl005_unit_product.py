@@ -1,0 +1,8 @@
+"""RL005 bad: an inline ``<n> * GB`` sized constant in simulator code."""
+
+GB = 1024 ** 3
+
+
+def fits_in_dram(model_bytes):
+    budget = 16 * GB  # capacity belongs in DEVICE_PRESETS
+    return model_bytes <= budget

@@ -1,0 +1,21 @@
+"""RL001 good: async handlers offload blocking work or carry a documented waiver.
+
+Placed (by the test) at ``src/repro/serving/`` inside a temporary tree.
+"""
+
+import asyncio
+
+
+class Handler:
+    async def handle(self, session, payload):
+        loop = asyncio.get_running_loop()
+        # The callable is only *referenced* here; it runs on an executor thread.
+        result = await loop.run_in_executor(None, lambda: session.perplexity(payload))
+        await asyncio.sleep(0)  # asyncio.sleep yields; it never blocks
+        return result
+
+    async def lockstep(self):
+        self.step()  # reprolint: disable=RL001 -- fixture: deliberate lock-step decode
+
+    def step(self):
+        return 0

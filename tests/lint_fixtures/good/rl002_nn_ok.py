@@ -1,0 +1,18 @@
+"""RL002 good: copy-before-write, and ``owns=`` for a genuine output buffer.
+
+Placed (by the test) at ``src/repro/nn/`` inside a temporary tree.
+"""
+
+import numpy as np
+
+
+def normalize(x):
+    out = x.copy()  # fresh allocation: mutating it is fine
+    out += 1.0
+    np.log(out, out=out)
+    return out
+
+
+def scatter(dst, idx):  # reprolint: owns=dst -- fixture: output buffer by contract
+    dst[idx] = 1.0
+    return dst

@@ -1,0 +1,19 @@
+"""RL003 good: a registration that honors the full registry contract.
+
+Placed (by the test) at ``src/repro/sparsity/`` inside a temporary tree.
+"""
+
+from repro.sparsity.registry import register_method
+
+
+@register_method("fixture-ok", doc="A conforming fixture method.")
+class FixtureMethod:
+    def __init__(self, target_density=0.5, *, beta=1.0):
+        self.target_density = target_density
+        self.beta = beta
+
+    def reset(self):
+        pass
+
+    def compute_masks(self, mlp, layer_index, x):
+        return None

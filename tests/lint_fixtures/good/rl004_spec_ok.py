@@ -1,0 +1,13 @@
+"""RL004 good: every spec dataclass field is documented in ``docs/API.md``.
+
+Placed (by the test) at ``src/repro/pipeline/spec.py``; the test writes a
+``docs/API.md`` mentioning ```name``` and ```seed```.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSection:
+    name: str = "tiny"
+    seed: int = 0

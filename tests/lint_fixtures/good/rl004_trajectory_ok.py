@@ -1,0 +1,11 @@
+"""RL004 good: ``TRACKED_METRICS`` matches the committed baseline exactly.
+
+Placed (by the test) at ``benchmarks/check_trajectory.py``; the test writes a
+matching ``BENCH_fixture.json`` at the temporary root.
+"""
+
+TRACKED_METRICS = {
+    "BENCH_fixture.json": {
+        "methods.dip.speedup": "higher",
+    },
+}

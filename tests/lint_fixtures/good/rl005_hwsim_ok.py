@@ -1,0 +1,12 @@
+"""RL005 good: simulator math references named device capabilities only.
+
+Placed (by the test) at ``src/repro/hwsim/`` inside a temporary tree.
+"""
+
+
+def read_seconds(n_bytes, device):
+    return n_bytes / device.flash_bytes_per_s
+
+
+def decode_flops(tokens, device):
+    return 2.0 * tokens * device.params_active

@@ -1,0 +1,215 @@
+"""Tests of the ``tools.reprolint`` static-analysis suite.
+
+Every rule is exercised through the fixture snippets in
+``tests/lint_fixtures/{good,bad}``: the test copies each snippet into a
+temporary tree at a path matching the rule's scope (e.g. a serving fixture
+goes to ``src/repro/serving/``) and runs the analyzer with the temporary
+directory as the repository root.  The suite also locks in the waiver
+grammar (reasons are mandatory, unknown rule ids and stale waivers are
+themselves findings) and the acceptance property that the committed tree is
+clean — and stops being clean if a shipped waiver is deleted.
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:  # `tools` lives at the repo root, not in src/
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import KNOWN_RULE_IDS, run_paths  # noqa: E402
+from tools.reprolint.core import META_RULE  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+#: Scope-matching destination (inside the temporary root) per fixture prefix.
+DESTINATIONS = {
+    "rl001": "src/repro/serving/{stem}.py",
+    "rl002": "src/repro/nn/{stem}.py",
+    "rl003": "src/repro/sparsity/{stem}.py",
+    "rl004_spec": "src/repro/pipeline/spec.py",
+    "rl004_trajectory": "benchmarks/check_trajectory.py",
+    "rl005": "src/repro/hwsim/{stem}.py",
+}
+
+#: docs/API.md content the RL004 spec fixtures are checked against.
+FIXTURE_DOCS = "# API\n\nThe model section has `name` and `seed`.\n"
+
+#: Baseline record the RL004 trajectory fixtures are checked against.
+FIXTURE_BENCH = {"methods": {"dip": {"speedup": 2.0, "wall_s": 1.25}}}
+
+
+def _destination(fixture: Path) -> str:
+    for prefix, template in sorted(DESTINATIONS.items(), key=lambda kv: -len(kv[0])):
+        if fixture.stem.startswith(prefix):
+            return template.format(stem=fixture.stem)
+    raise AssertionError(f"fixture {fixture.name} matches no destination rule")
+
+
+def _place(root: Path, fixture: Path) -> None:
+    target = root / _destination(fixture)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(fixture.read_text())
+    if fixture.stem.startswith("rl004_spec"):
+        (root / "docs").mkdir(exist_ok=True)
+        (root / "docs" / "API.md").write_text(FIXTURE_DOCS)
+    if fixture.stem.startswith("rl004_trajectory"):
+        (root / "BENCH_fixture.json").write_text(json.dumps(FIXTURE_BENCH))
+
+
+def _lint(root: Path, select=None):
+    paths = [p for p in (root / "src", root / "benchmarks") if p.exists()]
+    return run_paths(root, paths, select=select)
+
+
+def _rule_of(fixture_name: str) -> str:
+    return fixture_name[:5].upper()  # "rl001_..." -> "RL001"
+
+
+GOOD = sorted(FIXTURES.glob("good/*.py"))
+BAD = sorted(FIXTURES.glob("bad/*.py"))
+
+
+def test_fixture_inventory():
+    """One good and at least two bad failing cases per rule."""
+    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005"):
+        assert any(f.stem.startswith(rule) for f in GOOD), rule
+    assert len(BAD) >= 10  # >= 2 failing cases per rule across the bad files
+
+
+@pytest.mark.parametrize("fixture", GOOD, ids=lambda p: p.stem)
+def test_good_fixture_is_clean(fixture, tmp_path):
+    _place(tmp_path, fixture)
+    findings = _lint(tmp_path, select=[_rule_of(fixture.stem)])
+    assert findings == [], [f.render() for f in findings]
+
+
+@pytest.mark.parametrize("fixture", BAD, ids=lambda p: p.stem)
+def test_bad_fixture_is_flagged(fixture, tmp_path):
+    rule = _rule_of(fixture.stem)
+    _place(tmp_path, fixture)
+    findings = _lint(tmp_path, select=[rule])
+    assert findings, f"{fixture.name} produced no findings"
+    assert all(f.rule == rule for f in findings), [f.render() for f in findings]
+
+
+def test_bad_fixtures_have_two_failing_cases_per_rule(tmp_path):
+    """Across its bad fixtures, every rule fires at least twice."""
+    counts = {}
+    for fixture in BAD:
+        root = tmp_path / fixture.stem
+        root.mkdir()
+        _place(root, fixture)
+        rule = _rule_of(fixture.stem)
+        counts[rule] = counts.get(rule, 0) + len(_lint(root, select=[rule]))
+    assert set(counts) == set(KNOWN_RULE_IDS)
+    assert all(count >= 2 for count in counts.values()), counts
+
+
+def test_findings_carry_fixits(tmp_path):
+    _place(tmp_path, FIXTURES / "bad" / "rl002_augassign_param.py")
+    (finding,) = _lint(tmp_path, select=["RL002"])
+    assert "owns=" in finding.fixit
+    assert re.match(r"src/repro/nn/.*\.py:\d+: RL002 ", finding.render())
+
+
+# --------------------------------------------------------------------- waivers
+def _waiver_case(tmp_path: Path, line: str):
+    target = tmp_path / "src" / "repro" / "hwsim" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(line + "\n")
+    return _lint(tmp_path)
+
+
+def test_waiver_without_reason_is_a_finding(tmp_path):
+    findings = _waiver_case(tmp_path, "x = 900e9  # reprolint: disable=RL005")
+    assert any(f.rule == META_RULE and "no reason" in f.message for f in findings)
+
+
+def test_waiver_with_unknown_rule_id_is_a_finding(tmp_path):
+    findings = _waiver_case(tmp_path, "x = 1  # reprolint: disable=RL999 -- because")
+    assert any(f.rule == META_RULE and "unknown rule id" in f.message for f in findings)
+
+
+def test_malformed_waiver_comment_is_a_finding(tmp_path):
+    findings = _waiver_case(tmp_path, "x = 1  # reprolint: disable RL005")
+    assert any(f.rule == META_RULE and "malformed" in f.message for f in findings)
+
+
+def test_stale_waiver_is_a_finding(tmp_path):
+    findings = _waiver_case(tmp_path, "x = 1  # reprolint: disable=RL005 -- nothing here")
+    assert any(f.rule == META_RULE and "suppresses nothing" in f.message for f in findings)
+
+
+def test_owns_waiver_off_def_header_is_a_finding(tmp_path):
+    findings = _waiver_case(tmp_path, "x = 1  # reprolint: owns=x -- not on a def line")
+    assert any(f.rule == META_RULE and "function header" in f.message for f in findings)
+
+
+def test_valid_waiver_suppresses_and_counts_as_used(tmp_path):
+    findings = _waiver_case(
+        tmp_path, "x = 900e9  # reprolint: disable=RL005 -- fixture: named elsewhere"
+    )
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_unknown_rule_id_in_select_is_rejected(tmp_path):
+    (tmp_path / "src").mkdir()
+    with pytest.raises(ValueError, match="unknown rule id"):
+        run_paths(tmp_path, [tmp_path / "src"], select=["RL9"])
+
+
+# ---------------------------------------------------------------- acceptance
+def test_committed_tree_is_clean():
+    findings = run_paths(REPO_ROOT, [REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_deleting_a_shipped_waiver_breaks_the_run(tmp_path):
+    """Stripping the scheduler's documented RL001 waivers re-raises findings."""
+    scheduler = REPO_ROOT / "src" / "repro" / "serving" / "scheduler.py"
+    stripped = re.sub(r"\s*# reprolint:[^\n]*", "", scheduler.read_text())
+    assert stripped != scheduler.read_text(), "expected shipped waivers in scheduler.py"
+    target = tmp_path / "src" / "repro" / "serving" / "scheduler.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(stripped)
+    findings = _lint(tmp_path, select=["RL001"])
+    assert any(f.rule == "RL001" for f in findings), "waiver deletion must fail the lint"
+
+
+def test_cli_exit_codes(tmp_path):
+    env_root = tmp_path / "tree"
+    _place(env_root, FIXTURES / "bad" / "rl005_inline_constant.py")
+    bad = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--root", str(env_root), "src"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert bad.returncode == 1, bad.stderr
+    assert "RL005" in bad.stdout
+
+    clean_root = tmp_path / "clean"
+    _place(clean_root, FIXTURES / "good" / "rl005_hwsim_ok.py")
+    clean = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--root", str(clean_root), "src"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    usage = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "--select", "RL999", "src"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    assert usage.returncode == 2
+
+
+def test_unparsable_file_is_a_meta_finding(tmp_path):
+    target = tmp_path / "src" / "repro" / "hwsim" / "broken.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def broken(:\n")
+    findings = _lint(tmp_path)
+    assert any(f.rule == META_RULE and "does not parse" in f.message for f in findings)

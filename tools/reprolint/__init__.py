@@ -1,0 +1,46 @@
+"""reprolint — the project-specific static-analysis suite.
+
+Run it over the default tree::
+
+    python -m tools.reprolint src benchmarks
+
+Programmatic entry point::
+
+    from tools.reprolint import run_paths
+    findings = run_paths(Path("."), [Path("src")])
+
+See :mod:`tools.reprolint.core` for the waiver syntax and
+:mod:`tools.reprolint.rules` for the rule registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.reprolint.core import Finding, Project, Rule, collect_sources, run_rules
+from tools.reprolint.rules import ALL_RULES, KNOWN_RULE_IDS
+
+
+def run_paths(
+    root: Path,
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` (files or directories) relative to repo ``root``.
+
+    ``select`` restricts to the given rule ids; the RL000 meta rule
+    (waiver hygiene, unparsable files) always runs.
+    """
+    rules: List[Rule] = list(ALL_RULES)
+    if select is not None:
+        unknown = sorted(set(select) - set(KNOWN_RULE_IDS))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {unknown}; known: {KNOWN_RULE_IDS}")
+        rules = [rule for rule in rules if rule.id in select]
+    sources = collect_sources(root, paths, KNOWN_RULE_IDS)
+    project = Project(root, sources)
+    return run_rules(project, rules)
+
+
+__all__ = ["ALL_RULES", "KNOWN_RULE_IDS", "Finding", "run_paths"]

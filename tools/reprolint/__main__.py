@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from tools.reprolint import KNOWN_RULE_IDS, run_paths
+from tools.reprolint.rules import ALL_RULES
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-specific static analysis (see docs/DEVELOPING.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root the rule scopes are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULE",
+        help="run only these rule ids (repeatable); RL000 hygiene always runs",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}")
+            print(f"       {rule.description}")
+            print(f"       scope: {', '.join(rule.scope)}")
+        return 0
+
+    root = Path(args.root).resolve()
+    paths = [Path(args.root) / p if not Path(p).is_absolute() else Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"reprolint: path(s) do not exist: {missing}", file=sys.stderr)
+        return 2
+    try:
+        findings = run_paths(root, paths, select=args.select)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\nreprolint: {len(findings)} finding(s) "
+              f"({len(KNOWN_RULE_IDS)} rules + RL000 hygiene)", file=sys.stderr)
+        return 1
+    print("reprolint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""Core machinery of ``reprolint``: findings, waivers, sources, the runner.
+
+``reprolint`` is a *project-specific* static analyzer: its rules encode the
+load-bearing invariants of this repository (async-safety of the serving
+layer, immutability of borrowed KV buffers, the sparsity-registry contract,
+spec/docs/benchmark synchronisation, and no inline device constants in the
+hardware simulator).  Everything is stdlib-``ast`` based — no new runtime
+dependencies.
+
+Waiver syntax (both forms require a written reason after ``--``)::
+
+    x = blocking_call()  # reprolint: disable=RL001 -- deliberate: decode loop
+
+    def scatter(out):  # reprolint: owns=out -- caller hands over the buffer
+        out[...] = 1.0
+
+A ``disable`` waiver on a ``def``/``class`` header line suppresses matching
+findings in the whole block; on any other line it suppresses findings
+reported *on that line only*.  ``owns`` waivers apply to RL002 and declare
+that the named parameters are owned (mutable) buffers for the whole
+function.  Waivers that suppress nothing, name unknown rule ids, or omit the
+reason are themselves findings (meta rule ``RL000``), so stale waivers
+cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Meta rule id used for waiver-syntax problems and unparsable files.
+META_RULE = "RL000"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str  # repo-root-relative, '/'-separated
+    line: int
+    message: str
+    fixit: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.fixit:
+            text += f" (fix: {self.fixit})"
+        return text
+
+
+@dataclasses.dataclass
+class Waiver:
+    """One parsed ``# reprolint: disable=...`` / ``owns=...`` comment."""
+
+    kind: str  # "disable" | "owns"
+    rules: Tuple[str, ...]  # disable: waived rule ids; owns: ("RL002",)
+    names: Tuple[str, ...]  # owns: owned parameter names
+    reason: str
+    line: int  # line the comment sits on
+    scope: Tuple[int, int]  # inclusive line range the waiver covers
+    used: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        return rule in self.rules and self.scope[0] <= line <= self.scope[1]
+
+
+_WAIVER_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|owns)\s*=\s*(?P<items>[^#]*?)\s*"
+    r"(?:--\s*(?P<reason>.*\S)\s*)?$"
+)
+
+
+class SourceFile:
+    """A parsed Python file: AST, waivers, and block-scope information."""
+
+    def __init__(self, path: Path, rel: str, known_rules: Sequence[str]) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text()
+        self.lines = self.text.splitlines()
+        self.meta_findings: List[Finding] = []
+        self.waivers: List[Waiver] = []
+        self.tree: Optional[ast.Module] = None
+        try:
+            self.tree = ast.parse(self.text)
+        except SyntaxError as exc:
+            self.meta_findings.append(
+                Finding(META_RULE, rel, exc.lineno or 1, f"file does not parse: {exc.msg}")
+            )
+            return
+        self._blocks = _block_ranges(self.tree)
+        self._parse_waivers(tuple(known_rules))
+
+    # ------------------------------------------------------------------ waivers
+    def _parse_waivers(self, known_rules: Tuple[str, ...]) -> None:
+        for line_number, line in enumerate(self.lines, start=1):
+            if "reprolint" not in line or "#" not in line:
+                continue
+            match = _WAIVER_RE.search(line)
+            if match is None:
+                # A comment mentioning reprolint without valid syntax is
+                # almost certainly a typo'd waiver; fail loudly, not silently.
+                if re.search(r"#\s*reprolint\s*:", line):
+                    self.meta_findings.append(
+                        Finding(
+                            META_RULE, self.rel, line_number,
+                            "malformed reprolint comment",
+                            "use '# reprolint: disable=<RULE[,RULE]> -- <reason>' "
+                            "or '# reprolint: owns=<param[,param]> -- <reason>'",
+                        )
+                    )
+                continue
+            kind = match.group("kind")
+            items = tuple(part.strip() for part in match.group("items").split(",") if part.strip())
+            reason = (match.group("reason") or "").strip()
+            if not items:
+                self.meta_findings.append(
+                    Finding(META_RULE, self.rel, line_number, f"empty '{kind}=' waiver")
+                )
+                continue
+            if not reason:
+                self.meta_findings.append(
+                    Finding(
+                        META_RULE, self.rel, line_number,
+                        "waiver has no reason",
+                        "append ' -- <why this violation is deliberate>'",
+                    )
+                )
+                continue
+            if kind == "disable":
+                unknown = [rule for rule in items if rule not in known_rules]
+                if unknown:
+                    self.meta_findings.append(
+                        Finding(
+                            META_RULE, self.rel, line_number,
+                            f"waiver names unknown rule id(s) {unknown}",
+                            f"known rules: {sorted(known_rules)}",
+                        )
+                    )
+                    continue
+                scope = self._scope_for(line_number)
+                self.waivers.append(Waiver("disable", items, (), reason, line_number, scope))
+            else:  # owns
+                scope = self._scope_for(line_number)
+                if scope == (line_number, line_number):
+                    self.meta_findings.append(
+                        Finding(
+                            META_RULE, self.rel, line_number,
+                            "'owns=' waiver must sit on a function header line",
+                            "place it on the 'def' line of the owning function",
+                        )
+                    )
+                    continue
+                self.waivers.append(Waiver("owns", ("RL002",), items, reason, line_number, scope))
+
+    def _scope_for(self, line_number: int) -> Tuple[int, int]:
+        """Block range when the comment is on a def/class header, else the line."""
+        for header_range, block_range in self._blocks:
+            if header_range[0] <= line_number <= header_range[1]:
+                return block_range
+        return (line_number, line_number)
+
+    # --------------------------------------------------------------- queries
+    def owned_params(self, func: ast.AST) -> Dict[str, Waiver]:
+        """``owns=`` declarations attached to ``func``'s header."""
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return {}
+        header = _header_range(func)
+        owned: Dict[str, Waiver] = {}
+        for waiver in self.waivers:
+            if waiver.kind == "owns" and header[0] <= waiver.line <= header[1]:
+                for name in waiver.names:
+                    owned[name] = waiver
+        return owned
+
+    def suppress(self, finding: Finding) -> bool:
+        """Mark-and-test: is ``finding`` covered by a disable waiver here?"""
+        for waiver in self.waivers:
+            if waiver.kind == "disable" and waiver.covers(finding.rule, finding.line):
+                waiver.used = True
+                return True
+        return False
+
+    def unused_waiver_findings(self) -> List[Finding]:
+        return [
+            Finding(
+                META_RULE, self.rel, waiver.line,
+                f"waiver for {','.join(waiver.rules)} suppresses nothing",
+                "delete the stale waiver (or fix the rule id / line placement)",
+            )
+            for waiver in self.waivers
+            if not waiver.used
+        ]
+
+
+def _header_range(node: ast.AST) -> Tuple[int, int]:
+    """Lines of a def/class header: the ``def``/``class`` line through the
+    line before the first body statement (decorators excluded)."""
+    body = getattr(node, "body", None)
+    lineno = getattr(node, "lineno", 1)
+    if not body:
+        return (lineno, lineno)
+    return (lineno, max(lineno, body[0].lineno - 1))
+
+
+def _block_ranges(tree: ast.Module) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """(header range, full block range) for every def/class, innermost first."""
+    ranges = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            end = node.end_lineno if node.end_lineno is not None else node.lineno
+            ranges.append((_header_range(node), (node.lineno, end)))
+    # Innermost (smallest) blocks first so nested headers win.
+    ranges.sort(key=lambda item: item[1][1] - item[1][0])
+    return ranges
+
+
+class Project:
+    """The tree under analysis: root directory plus the scanned sources."""
+
+    def __init__(self, root: Path, sources: Sequence[SourceFile]) -> None:
+        self.root = root
+        self.sources = list(sources)
+        self._by_rel = {source.rel: source for source in self.sources}
+
+    def source(self, rel: str) -> Optional[SourceFile]:
+        return self._by_rel.get(rel)
+
+    def sources_matching(self, patterns: Sequence[str]) -> List[SourceFile]:
+        import fnmatch
+
+        return [
+            source
+            for source in self.sources
+            if any(fnmatch.fnmatch(source.rel, pattern) for pattern in patterns)
+        ]
+
+    def read_text(self, rel: str) -> Optional[str]:
+        path = self.root / rel
+        if not path.exists():
+            return None
+        return path.read_text()
+
+
+class Rule:
+    """Interface of one lint rule.
+
+    ``scope`` is the tuple of root-relative glob patterns the rule applies
+    to; project-level rules (RL003/RL004) additionally read other artifacts
+    (docs, committed benchmark records) through the :class:`Project`.
+    """
+
+    id: str = "RL???"
+    name: str = ""
+    description: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def collect_sources(root: Path, paths: Sequence[Path], known_rules: Sequence[str]) -> List[SourceFile]:
+    """Parse every ``*.py`` under ``paths`` into :class:`SourceFile` objects."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    sources = []
+    seen = set()
+    for file_path in files:
+        rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        if rel in seen:
+            continue
+        seen.add(rel)
+        sources.append(SourceFile(file_path, rel, known_rules))
+    return sources
+
+
+def run_rules(project: Project, rules: Sequence[Rule]) -> List[Finding]:
+    """Run ``rules``, apply waivers, and report stale waivers.
+
+    Returns the surviving findings sorted by location.  ``RL000`` meta
+    findings (bad waiver syntax, unparsable files, stale waivers) are never
+    waivable — they point at the waiver mechanism itself.
+    """
+    findings: List[Finding] = []
+    for source in project.sources:
+        findings.extend(source.meta_findings)
+    for rule in rules:
+        for finding in rule.run(project):
+            source = project.source(finding.path)
+            if source is not None and source.suppress(finding):
+                continue
+            findings.append(finding)
+    for source in project.sources:
+        findings.extend(source.unused_waiver_findings())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

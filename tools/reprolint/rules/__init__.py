@@ -1,0 +1,24 @@
+"""The reprolint rule registry — one module per rule id."""
+
+from __future__ import annotations
+
+from typing import List
+
+from tools.reprolint.core import Rule
+from tools.reprolint.rules.rl001_async_blocking import AsyncBlockingRule
+from tools.reprolint.rules.rl002_buffer_mutation import BorrowedBufferRule
+from tools.reprolint.rules.rl003_registry_contract import RegistryContractRule
+from tools.reprolint.rules.rl004_spec_docs_sync import SpecDocsSyncRule
+from tools.reprolint.rules.rl005_hwsim_literals import HwsimLiteralRule
+
+ALL_RULES: List[Rule] = [
+    AsyncBlockingRule(),
+    BorrowedBufferRule(),
+    RegistryContractRule(),
+    SpecDocsSyncRule(),
+    HwsimLiteralRule(),
+]
+
+KNOWN_RULE_IDS = [rule.id for rule in ALL_RULES]
+
+__all__ = ["ALL_RULES", "KNOWN_RULE_IDS"]

@@ -1,0 +1,210 @@
+"""RL001 — no blocking calls on the event loop thread of ``repro.serving``.
+
+Inside an ``async def`` in the serving layer, a direct call into a model /
+engine forward, a ``SparseSession`` evaluation method, ``time.sleep``, or
+synchronous file/socket IO stalls the whole decode loop: every other
+in-flight request stops producing tokens until the call returns.  The
+sanctioned escape hatches are ``loop.run_in_executor(...)`` and
+``asyncio.to_thread(...)`` (which receive the callable as a *reference*, so
+they never trip this rule), or an explicit waiver for deliberately
+lock-step paths (the scheduler's decode loop).
+
+The analysis is transitive within a module: a synchronous helper method
+that (directly or through other local helpers) reaches a blocking call is
+itself treated as blocking when invoked from an ``async def``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.reprolint.core import Finding, Project, Rule, SourceFile
+
+#: Method/function names that run a numpy forward or a full evaluation —
+#: milliseconds-to-seconds of compute that must not run on the loop thread.
+BLOCKING_COMPUTE = frozenset({
+    "forward", "forward_array", "prefill", "step", "admit",
+    "generate", "generate_batch", "evaluate", "evaluate_suite",
+    "perplexity", "accuracy", "suite_accuracy", "collect_masks",
+    "calibrate", "compute_masks", "sparse_forward", "throughput",
+    "run_experiment", "run_experiment_payload",
+})
+
+#: Names whose call performs synchronous IO or sleeps.
+BLOCKING_IO = frozenset({"sleep", "open", "connect", "recv", "send", "sendall", "accept"})
+
+#: Qualified prefixes that make a bare blocking name unambiguous.
+_SLEEP_MODULES = frozenset({"time"})
+
+
+def _callee(node: ast.Call) -> Tuple[Optional[str], str]:
+    """(qualifier, name) of a call: ``time.sleep`` → ("time", "sleep")."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return None, func.id
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id, func.attr
+        return "", func.attr
+    return None, ""
+
+
+def _is_blocking_callee(qualifier: Optional[str], name: str) -> Optional[str]:
+    """A human-readable description when the callee is inherently blocking."""
+    if name == "sleep":
+        # Only time.sleep (or a bare `sleep` import) — never asyncio.sleep.
+        if qualifier in _SLEEP_MODULES or qualifier is None:
+            return "time.sleep blocks the event loop"
+        return None
+    if name == "open" and qualifier is None:
+        return "synchronous file IO (open) on the event loop"
+    if name in BLOCKING_IO and qualifier is not None:
+        return f"synchronous socket/file IO (.{name}) on the event loop"
+    if name in BLOCKING_COMPUTE:
+        target = f"{qualifier}.{name}" if qualifier else name
+        return f"direct call to blocking compute '{target}' on the event loop"
+    return None
+
+
+class _FunctionInfo:
+    def __init__(self, node: ast.AST, qualname: str, class_name: Optional[str]) -> None:
+        self.node = node
+        self.qualname = qualname
+        self.class_name = class_name
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        #: Reason string when this (sync) function is blocking, else None.
+        self.blocking_reason: Optional[str] = None
+
+
+def _index_functions(tree: ast.Module) -> Dict[str, _FunctionInfo]:
+    """Map ``Class.method`` / ``function`` qualnames to their defs."""
+    table: Dict[str, _FunctionInfo] = {}
+
+    def visit(node: ast.AST, class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{class_name}.{child.name}" if class_name else child.name
+                table[qualname] = _FunctionInfo(child, qualname, class_name)
+                # Nested defs are indexed under the *parent's* class so
+                # `self.x()` resolution still works one level down.
+                visit(child, class_name)
+
+    visit(tree, None)
+    return table
+
+
+def _local_callee_key(call: ast.Call, info: _FunctionInfo) -> Optional[str]:
+    """Qualname of a locally-defined callee (``self.x()`` or ``x()``)."""
+    qualifier, name = _callee(call)
+    if qualifier == "self" and info.class_name is not None:
+        return f"{info.class_name}.{name}"
+    if qualifier is None and name:
+        return name
+    return None
+
+
+def _body_calls(func: ast.AST) -> List[ast.Call]:
+    """Every Call in the function body, not descending into nested defs."""
+    calls: List[ast.Call] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # nested defs execute later (usually on an executor)
+            if isinstance(child, ast.Call):
+                calls.append(child)
+            visit(child)
+
+    for statement in getattr(func, "body", []):
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        visit(statement)
+    return calls
+
+
+class AsyncBlockingRule(Rule):
+    id = "RL001"
+    name = "async-blocking"
+    description = (
+        "no model forwards, session evaluation, time.sleep, or sync IO directly "
+        "inside 'async def' in repro.serving (route through run_in_executor/to_thread)"
+    )
+    scope = ("src/repro/serving/*.py",)
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for source in project.sources_matching(self.scope):
+            if source.tree is None:
+                continue
+            findings.extend(self._check_module(source))
+        return findings
+
+    def _check_module(self, source: SourceFile) -> List[Finding]:
+        table = _index_functions(source.tree)  # type: ignore[arg-type]
+
+        # Fixpoint: mark sync local functions that (transitively) block.
+        changed = True
+        while changed:
+            changed = False
+            for info in table.values():
+                if info.is_async or info.blocking_reason is not None:
+                    continue
+                reason = self._first_blocking_reason(info, table)
+                if reason is not None:
+                    info.blocking_reason = reason
+                    changed = True
+
+        findings: List[Finding] = []
+        reported: Set[Tuple[int, str]] = set()
+        for info in table.values():
+            if not info.is_async:
+                continue
+            for call in _body_calls(info.node):
+                message = self._call_blocking_reason(call, info, table)
+                if message is None:
+                    continue
+                key = (call.lineno, message)
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    Finding(
+                        self.id, source.rel, call.lineno,
+                        f"async '{info.qualname}' {message}",
+                        "offload via loop.run_in_executor/asyncio.to_thread, or waive "
+                        "with '# reprolint: disable=RL001 -- <reason>' if deliberate",
+                    )
+                )
+        return findings
+
+    def _first_blocking_reason(
+        self, info: _FunctionInfo, table: Dict[str, _FunctionInfo]
+    ) -> Optional[str]:
+        for call in _body_calls(info.node):
+            reason = self._call_blocking_reason(call, info, table)
+            if reason is not None:
+                return reason
+        return None
+
+    def _call_blocking_reason(
+        self, call: ast.Call, info: _FunctionInfo, table: Dict[str, _FunctionInfo]
+    ) -> Optional[str]:
+        qualifier, name = _callee(call)
+        direct = _is_blocking_callee(qualifier, name)
+        if direct is not None:
+            # A bare name that resolves to a local *async* def is not a
+            # blocking call even if the name collides with the blocklist.
+            local = _local_callee_key(call, info)
+            if local is not None and local in table and table[local].is_async:
+                return None
+            return direct
+        local = _local_callee_key(call, info)
+        if local is not None and local in table:
+            target = table[local]
+            if not target.is_async and target.blocking_reason is not None:
+                return f"calls '{target.qualname}', which blocks ({target.blocking_reason})"
+        return None

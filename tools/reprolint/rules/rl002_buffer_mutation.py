@@ -1,0 +1,226 @@
+"""RL002 — no in-place mutation of borrowed buffers in hot-path modules.
+
+``repro.nn`` / ``repro.engine`` functions receive arrays they do not own:
+KV blocks handed out by :class:`PrefixCache` are ref-counted and marked
+``writeable=False``, and activations flow through several layers that may
+alias each other.  An in-place op (``+=``, ``out=``, ``np.copyto``,
+slice-assignment, a mutating ndarray method) on a *parameter* — or on a
+view derived from one — either corrupts shared state or crashes on the
+read-only flag at runtime.  This rule catches the pattern statically.
+
+A function that genuinely owns an argument (scatter-into-output APIs)
+declares it on the header line::
+
+    def scatter(dst, idx):  # reprolint: owns=dst -- output buffer by contract
+        dst[idx] = 1.0
+
+Rebinding a name to a fresh expression (``x = x * 2``) un-borrows it;
+deriving a view (``rows = x[sel]``, ``t = x.T``, ``y = x.reshape(...)``)
+keeps the taint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from tools.reprolint.core import Finding, Project, Rule, SourceFile
+
+#: ndarray methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset({
+    "fill", "sort", "partition", "put", "setfield", "setflags", "resize",
+    "itemset", "byteswap",
+})
+
+#: numpy module-level functions whose first/``dst`` argument is written.
+NUMPY_WRITERS = frozenset({"copyto", "put", "place", "putmask", "fill_diagonal"})
+
+#: Attribute/method chains that produce a *view* of the receiver.
+VIEW_ATTRS = frozenset({"T", "real", "imag", "flat", "mT"})
+VIEW_METHODS = frozenset({
+    "reshape", "transpose", "swapaxes", "view", "squeeze", "ravel",
+    "astype_unsafe", "diagonal",
+})
+#: numpy functions returning views (or possibly views) of their argument.
+NUMPY_VIEW_FUNCS = frozenset({"asarray", "ascontiguousarray", "atleast_1d", "atleast_2d", "ravel", "reshape", "transpose", "squeeze", "broadcast_to"})
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base Name of an expression chain (``x[0].T`` → ``x``)."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def _view_source(node: ast.AST, borrowed: Set[str]) -> Optional[str]:
+    """Borrowed name this expression is a view of, if any."""
+    if isinstance(node, ast.Name):
+        return node.id if node.id in borrowed else None
+    if isinstance(node, ast.Subscript):
+        return _view_source(node.value, borrowed)
+    if isinstance(node, ast.Attribute):
+        if node.attr in VIEW_ATTRS:
+            return _view_source(node.value, borrowed)
+        return None
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in VIEW_METHODS:
+            return _view_source(func.value, borrowed)
+        if isinstance(func, ast.Attribute) and func.attr in NUMPY_VIEW_FUNCS:
+            qualifier = func.value
+            if isinstance(qualifier, ast.Name) and qualifier.id in {"np", "numpy"} and node.args:
+                return _view_source(node.args[0], borrowed)
+        return None
+    return None
+
+
+class BorrowedBufferRule(Rule):
+    id = "RL002"
+    name = "borrowed-buffer-mutation"
+    description = (
+        "no in-place ops (+=, out=, np.copyto, slice-assignment, mutating methods) "
+        "on function parameters or views of them in repro.nn/repro.engine, unless "
+        "the function declares ownership with '# reprolint: owns=<param> -- <reason>'"
+    )
+    scope = ("src/repro/nn/*.py", "src/repro/engine/*.py")
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for source in project.sources_matching(self.scope):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    findings.extend(self._check_function(source, node))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_function(self, source: SourceFile, func: ast.AST) -> List[Finding]:
+        params = self._parameter_names(func)
+        if not params:
+            return []
+        owned = source.owned_params(func)
+        for waiver in owned.values():
+            waiver.used = True  # an owns= declaration is "used" by existing
+        borrowed = {name for name in params if name not in owned}
+        if not borrowed:
+            return []
+
+        findings: List[Finding] = []
+        #: borrowed views: alias name -> original parameter name
+        aliases: Dict[str, str] = {name: name for name in borrowed}
+
+        def tainted(expr: ast.AST) -> Optional[str]:
+            origin = _view_source(expr, set(aliases))
+            return aliases.get(origin) if origin else None
+
+        def flag(line: int, what: str, origin: str) -> None:
+            findings.append(
+                Finding(
+                    self.id, source.rel, line,
+                    f"{what} mutates borrowed buffer '{origin}'",
+                    "copy first (arr = arr.copy()), or declare ownership with "
+                    f"'# reprolint: owns={origin} -- <reason>' on the def line",
+                )
+            )
+
+        for stmt in self._statements(func):
+            if isinstance(stmt, ast.AugAssign):
+                # `x += 1` on a borrowed *array* mutates in place for
+                # ndarrays; treat every aug-assign on a tainted target as such.
+                origin = tainted(stmt.target)
+                if origin:
+                    flag(stmt.lineno, "augmented assignment", origin)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        origin = tainted(target)
+                        if origin:
+                            flag(stmt.lineno, "slice/attribute assignment", origin)
+                # Track aliasing / un-borrowing for simple name bindings.
+                if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                    name = stmt.targets[0].id
+                    origin = tainted(stmt.value)
+                    if origin:
+                        aliases[name] = origin
+                    else:
+                        aliases.pop(name, None)  # rebound to a fresh value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, (ast.Subscript, ast.Attribute)):
+                    origin = tainted(stmt.target)
+                    if origin:
+                        flag(stmt.lineno, "slice/attribute assignment", origin)
+                elif isinstance(stmt.target, ast.Name):
+                    origin = tainted(stmt.value)
+                    if origin:
+                        aliases[stmt.target.id] = origin
+                    else:
+                        aliases.pop(stmt.target.id, None)
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                self._check_call(stmt.value, tainted, flag)
+            # Calls in other statement positions (return np.copyto(...) etc.).
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) and not (
+                    isinstance(stmt, ast.Expr) and sub is stmt.value
+                ):
+                    self._check_call(sub, tainted, flag)
+        return findings
+
+    def _check_call(
+        self,
+        call: ast.Call,
+        tainted: Callable[[ast.AST], Optional[str]],
+        flag: Callable[[int, str, str], None],
+    ) -> None:
+        func = call.func
+        # out= keyword anywhere (np.multiply(a, b, out=x)).
+        for keyword in call.keywords:
+            if keyword.arg in {"out", "dst", "where_out"}:
+                origin = tainted(keyword.value)
+                if origin:
+                    flag(call.lineno, f"'{keyword.arg}=' argument", origin)
+        if isinstance(func, ast.Attribute):
+            qualifier = func.value
+            if isinstance(qualifier, ast.Name) and qualifier.id in {"np", "numpy"}:
+                if func.attr in NUMPY_WRITERS and call.args:
+                    origin = tainted(call.args[0])
+                    if origin:
+                        flag(call.lineno, f"np.{func.attr} into", origin)
+            elif func.attr in MUTATING_METHODS:
+                origin = tainted(qualifier)
+                if origin:
+                    flag(call.lineno, f".{func.attr}() call", origin)
+
+    @staticmethod
+    def _parameter_names(func: ast.AST) -> List[str]:
+        arguments = getattr(func, "args", None)
+        if arguments is None:
+            return []
+        names = [arg.arg for arg in arguments.posonlyargs + arguments.args + arguments.kwonlyargs]
+        if arguments.vararg:
+            names.append(arguments.vararg.arg)
+        if arguments.kwarg:
+            names.append(arguments.kwarg.arg)
+        return [name for name in names if name not in {"self", "cls"}]
+
+    @staticmethod
+    def _statements(func: ast.AST) -> Iterable[ast.stmt]:
+        """All statements in the function body, not entering nested defs."""
+        stack = list(getattr(func, "body", []))
+        while stack:
+            stmt = stack.pop(0)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield stmt
+            for field in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(stmt, field, []))
+            for handler in getattr(stmt, "handlers", []):
+                stack.extend(handler.body)

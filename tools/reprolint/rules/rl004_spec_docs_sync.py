@@ -1,0 +1,210 @@
+"""RL004 — the spec dataclasses, the API docs, and the perf gate stay in sync.
+
+Two project-level contracts, both of which have silently drifted before:
+
+1. **Spec ↔ docs.**  Every field of the :class:`ExperimentSpec` section
+   dataclasses in ``src/repro/pipeline/spec.py`` must be mentioned in
+   ``docs/API.md`` (as a backticked identifier).  A field nobody documents
+   is a field nobody can use from the paper-artifact side.
+
+2. **Benchmarks ↔ trajectory gate.**  Every *ratio* metric in the committed
+   ``BENCH_*.json`` baselines (``speedup``, ``speedup_vs_*``, ``*_fraction``,
+   ``*_rate`` leaves — the gate's own docstring restricts tracking to
+   ratios, never wall times) must appear in
+   ``benchmarks/check_trajectory.py::TRACKED_METRICS``, and every tracked
+   path must resolve in its baseline file.  Otherwise the nightly gate
+   silently skips regressions (or asserts on a phantom metric).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.reprolint.core import Finding, Project, Rule
+
+SPEC_REL = "src/repro/pipeline/spec.py"
+DOCS_REL = "docs/API.md"
+TRAJECTORY_REL = "benchmarks/check_trajectory.py"
+
+
+def is_ratio_key(key: str) -> bool:
+    """Gate-worthy metric keys: dimensionless ratios, never wall times."""
+    return (
+        key == "speedup"
+        or key.startswith("speedup_vs_")
+        or key.endswith("_fraction")
+        or key.endswith("_rate")
+    )
+
+
+def ratio_leaves(payload: Dict) -> List[str]:
+    """Dotted paths of every ratio leaf in a benchmark record."""
+    paths: List[str] = []
+
+    def walk(node: Dict, prefix: str) -> None:
+        for key, value in node.items():
+            dotted = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, dict):
+                walk(value, dotted)
+            elif isinstance(value, bool):
+                continue
+            elif isinstance(value, (int, float)) and is_ratio_key(key):
+                paths.append(dotted)
+
+    walk(payload, "")
+    return sorted(paths)
+
+
+class SpecDocsSyncRule(Rule):
+    id = "RL004"
+    name = "spec-docs-sync"
+    description = (
+        "ExperimentSpec section fields must appear in docs/API.md; ratio metrics in "
+        "committed BENCH_*.json and check_trajectory.TRACKED_METRICS must match 1:1"
+    )
+    scope = (SPEC_REL, TRAJECTORY_REL)
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_spec_docs(project))
+        findings.extend(self._check_trajectory(project))
+        return findings
+
+    # ----------------------------------------------------------- spec ↔ docs
+    def _check_spec_docs(self, project: Project) -> List[Finding]:
+        source = project.source(SPEC_REL)
+        if source is None or source.tree is None:
+            return []
+        docs = project.read_text(DOCS_REL)
+        if docs is None:
+            return [
+                Finding(
+                    self.id, SPEC_REL, 1,
+                    f"{DOCS_REL} is missing, so no spec field is documented",
+                    f"create {DOCS_REL} documenting the ExperimentSpec sections",
+                )
+            ]
+        findings: List[Finding] = []
+        for cls_name, field_name, line in self._dataclass_fields(source.tree):
+            if f"`{field_name}`" not in docs and f"`{cls_name}.{field_name}`" not in docs:
+                findings.append(
+                    Finding(
+                        self.id, SPEC_REL, line,
+                        f"spec field '{cls_name}.{field_name}' is not documented in {DOCS_REL}",
+                        f"mention `{field_name}` in the {cls_name} section of {DOCS_REL}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _dataclass_fields(tree: ast.Module) -> List[Tuple[str, str, int]]:
+        """(class, field, line) for every annotated field of a @dataclass."""
+        fields: List[Tuple[str, str, int]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorated = any(
+                (isinstance(d, ast.Name) and d.id == "dataclass")
+                or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+                or (isinstance(d, ast.Call) and (
+                    (isinstance(d.func, ast.Name) and d.func.id == "dataclass")
+                    or (isinstance(d.func, ast.Attribute) and d.func.attr == "dataclass")
+                ))
+                for d in node.decorator_list
+            )
+            if not decorated:
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    name = stmt.target.id
+                    if not name.startswith("_"):
+                        fields.append((node.name, name, stmt.lineno))
+        return fields
+
+    # ------------------------------------------------- benchmarks ↔ tracking
+    def _check_trajectory(self, project: Project) -> List[Finding]:
+        source = project.source(TRAJECTORY_REL)
+        if source is None or source.tree is None:
+            return []
+        parsed = self._tracked_metrics(source.tree)
+        if parsed is None:
+            return [
+                Finding(
+                    self.id, TRAJECTORY_REL, 1,
+                    "TRACKED_METRICS is missing or not a literal dict",
+                    "keep TRACKED_METRICS a plain {file: {dotted.path: direction}} literal",
+                )
+            ]
+        line, tracked = parsed
+        findings: List[Finding] = []
+
+        bench_files = sorted(project.root.glob("BENCH_*.json"))
+        records: Dict[str, Dict] = {}
+        for path in bench_files:
+            try:
+                records[path.name] = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                findings.append(
+                    Finding(
+                        self.id, TRAJECTORY_REL, line,
+                        f"committed baseline {path.name} is unreadable: {exc}",
+                        "re-generate the baseline record",
+                    )
+                )
+
+        for name, payload in sorted(records.items()):
+            expected = set(ratio_leaves(payload))
+            actual = set(tracked.get(name, ()))
+            for missing in sorted(expected - actual):
+                findings.append(
+                    Finding(
+                        self.id, TRAJECTORY_REL, line,
+                        f"ratio metric '{missing}' in {name} is not in TRACKED_METRICS "
+                        "(the nightly gate silently ignores it)",
+                        f"add '{missing}': 'higher' under {name!r}",
+                    )
+                )
+            for phantom in sorted(actual - expected):
+                findings.append(
+                    Finding(
+                        self.id, TRAJECTORY_REL, line,
+                        f"TRACKED_METRICS entry '{phantom}' does not resolve to a ratio "
+                        f"leaf of the committed {name}",
+                        "remove the stale entry or re-generate the baseline",
+                    )
+                )
+        for name in sorted(set(tracked) - set(records)):
+            findings.append(
+                Finding(
+                    self.id, TRAJECTORY_REL, line,
+                    f"TRACKED_METRICS tracks {name} but no such baseline is committed",
+                    f"commit {name} at the repo root or drop the entry",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _tracked_metrics(tree: ast.Module) -> Optional[Tuple[int, Dict[str, Set[str]]]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == "TRACKED_METRICS" for t in node.targets):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                return None
+            tracked: Dict[str, Set[str]] = {}
+            for key_node, value_node in zip(node.value.keys, node.value.values):
+                if not (isinstance(key_node, ast.Constant) and isinstance(key_node.value, str)):
+                    return None
+                if not isinstance(value_node, ast.Dict):
+                    return None
+                paths: Set[str] = set()
+                for path_node in value_node.keys:
+                    if not (isinstance(path_node, ast.Constant) and isinstance(path_node.value, str)):
+                        return None
+                    paths.add(path_node.value)
+                tracked[key_node.value] = paths
+            return node.lineno, tracked
+        return None

@@ -1,0 +1,76 @@
+"""RL005 — no bare device constants inline in hardware-simulator math.
+
+Device capabilities (HBM bandwidth, peak FLOPs, memory capacity, link
+bandwidth) live in the :data:`repro.hwsim.device.DEVICE_PRESETS` registry,
+where they are named, unit-annotated, and swept by the multi-device bench
+specs.  A ``* 900e9`` buried in simulator math silently forks the registry:
+the sweep changes the preset and the buried constant stays.  This rule
+flags large numeric literals (and ``<n> * GB``-style unit products) in
+every ``repro.hwsim`` module *except* ``device.py``, which is the registry
+itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.reprolint.core import Finding, Project, Rule
+
+#: Anything at least this large is a capability-scale constant, not math.
+LARGE = 1e6
+
+#: Names of unit constants whose inline products belong in the registry.
+UNIT_NAMES = frozenset({"KB", "MB", "GB", "TB", "KIB", "MIB", "GIB", "TIB"})
+
+EXEMPT = frozenset({"src/repro/hwsim/device.py"})
+
+
+class HwsimLiteralRule(Rule):
+    id = "RL005"
+    name = "hwsim-bare-literal"
+    description = (
+        "device-scale numeric constants belong in the DEVICE_PRESETS registry "
+        "(repro.hwsim.device), not inline in simulator math"
+    )
+    scope = ("src/repro/hwsim/*.py",)
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for source in project.sources_matching(self.scope):
+            if source.rel in EXEMPT or source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.Constant) and self._is_large(node.value):
+                    findings.append(
+                        Finding(
+                            self.id, source.rel, node.lineno,
+                            f"bare device-scale constant {node.value!r} in simulator code",
+                            "name it in repro.hwsim.device (DEVICE_PRESETS or a module "
+                            "constant) and reference it",
+                        )
+                    )
+                elif isinstance(node, ast.BinOp) and self._is_unit_product(node):
+                    findings.append(
+                        Finding(
+                            self.id, source.rel, node.lineno,
+                            "inline '<n> * unit' device constant in simulator code",
+                            "move the sized constant into repro.hwsim.device",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_large(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool) and abs(value) >= LARGE
+
+    @staticmethod
+    def _is_unit_product(node: ast.BinOp) -> bool:
+        if not isinstance(node.op, ast.Mult):
+            return False
+        left, right = node.left, node.right
+        def unit(n: ast.AST) -> bool:
+            return isinstance(n, ast.Name) and n.id.upper() in UNIT_NAMES
+        def number(n: ast.AST) -> bool:
+            return isinstance(n, ast.Constant) and isinstance(n.value, (int, float)) and not isinstance(n.value, bool)
+        return (unit(left) and number(right)) or (number(left) and unit(right))
