@@ -44,6 +44,15 @@ TRACKED_METRICS = {
         "strategies.continuous.speedup_vs_sequential": "higher",
         "strategies.lockstep.speedup_vs_sequential": "higher",
     },
+    "BENCH_sparse_kernels.json": {
+        "densities.d015.speedup": "higher",
+        "densities.d025.speedup": "higher",
+        "densities.d035.speedup": "higher",
+        "densities.d050.speedup": "higher",
+        "densities.d075.speedup": "higher",
+        "int8.speedup": "higher",
+        "single_token.speedup": "higher",
+    },
     "BENCH_prefix_cache.json": {
         "methods.cats.prefill_saved_fraction": "higher",
         "methods.cats.speedup": "higher",

@@ -1,0 +1,98 @@
+"""Optional compiled backend: numba if importable, else threaded blocked GEMM.
+
+Never required by tier-1 tests — numba is probed at import time and the
+fallback is pure numpy + ``concurrent.futures``.  Only large 2-D GEMMs take
+the accelerated path (``np.dot`` releases the GIL, so row-blocked threading
+scales on multi-core hosts even without numba); everything below the FLOP
+threshold, and every broadcasted attention matmul, runs through plain numpy
+where BLAS is already optimal.  Inherits the gather-GEMM sparse kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.backend.gather import GatherGEMMBackend
+
+_NUMBA_MATMUL: Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], None]] = None
+try:  # pragma: no cover - numba is not installed in the CI/test image
+    from numba import njit, prange  # type: ignore[import-not-found]
+
+    @njit(parallel=True, cache=True)
+    def _numba_matmul(a, b, out):  # type: ignore[no-untyped-def]
+        for i in prange(a.shape[0]):
+            for j in range(b.shape[1]):
+                acc = 0.0
+                for k in range(a.shape[1]):
+                    acc += a[i, k] * b[k, j]
+                out[i, j] = acc
+
+    _NUMBA_MATMUL = _numba_matmul
+except Exception:
+    _NUMBA_MATMUL = None
+
+
+class CompiledBackend(GatherGEMMBackend):
+    """Threaded/compiled GEMMs behind the same interface and numerics contract.
+
+    ``min_parallel_flops`` — 2-D GEMMs below this many multiply-adds run on
+    plain numpy (thread dispatch costs more than it saves).  ``n_threads``
+    defaults to the host core count, capped at 8.
+    """
+
+    name = "compiled"
+
+    def __init__(
+        self,
+        n_threads: Optional[int] = None,
+        block_rows: int = 128,
+        min_parallel_flops: int = 1 << 21,
+    ) -> None:
+        super().__init__()
+        self.n_threads = n_threads or min(8, os.cpu_count() or 1)
+        self.block_rows = int(block_rows)
+        self.min_parallel_flops = int(min_parallel_flops)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def uses_numba(self) -> bool:
+        """Whether the numba kernel (vs the threaded fallback) is active."""
+        return _NUMBA_MATMUL is not None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.n_threads, thread_name_prefix="repro-gemm")
+        return self._pool
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.ndim != 2 or b.ndim != 2 or self.n_threads <= 1:
+            return a @ b
+        m, k = a.shape
+        n = b.shape[1]
+        if m * n * k < self.min_parallel_flops or m < 2 * self.block_rows:
+            return a @ b
+        if _NUMBA_MATMUL is not None:  # pragma: no cover - numba not installed here
+            out = np.empty((m, n), dtype=np.result_type(a, b))
+            _NUMBA_MATMUL(np.ascontiguousarray(a), np.ascontiguousarray(b), out)
+            return out
+        return self._threaded_matmul(a, b)
+
+    def _threaded_matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-blocked GEMM: each worker writes one contiguous slice of ``out``."""
+        m = a.shape[0]
+        out = np.empty((m, b.shape[1]), dtype=np.result_type(a, b))
+        rows_per_block = max(self.block_rows, -(-m // self.n_threads))
+
+        def run_block(start: int) -> None:
+            stop = min(start + rows_per_block, m)
+            np.dot(a[start:stop], b, out=out[start:stop])
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(run_block, start) for start in range(0, m, rows_per_block)]
+        for future in futures:
+            future.result()
+        return out

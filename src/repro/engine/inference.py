@@ -16,6 +16,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import BackendLike, use_backend
 from repro.nn.prefix_cache import PrefixCache, PrefixMatch
 from repro.nn.transformer import CausalLM, TransformerBlock, left_pad_ragged, MASKED_BIAS
 from repro.sparsity.base import MLPMasks, SparsityMethod, masks_mlp_density
@@ -160,9 +161,20 @@ class SparseInferenceEngine:
     are untouched, exactly as in the paper.
     """
 
-    def __init__(self, model: CausalLM, method: SparsityMethod, record_masks: bool = False):
+    def __init__(
+        self,
+        model: CausalLM,
+        method: SparsityMethod,
+        record_masks: bool = False,
+        backend: BackendLike = None,
+    ):
         self.model = model
         self.method = method
+        #: Compute backend (name or instance) every evaluation entry point
+        #: runs under; ``None`` inherits the ambient selection (explicit
+        #: :func:`~repro.backend.use_backend` scope > ``REPRO_BACKEND`` env
+        #: var > numpy reference).
+        self.backend = backend
         self.recorder = MaskRecorder(len(model.blocks)) if record_masks else None
         #: Token budget per batched forward when no explicit batch size is
         #: given (see :data:`DEFAULT_BATCH_TOKENS`).
@@ -198,7 +210,10 @@ class SparseInferenceEngine:
 
     def logits(self, token_ids: np.ndarray) -> np.ndarray:
         """Logits for ``(seq,)`` or ``(batch, seq)`` token ids under the sparse model."""
-        return self.model.forward_array(np.asarray(token_ids, dtype=np.int64), mlp_override=self._mlp_override)
+        with use_backend(self.backend):
+            return self.model.forward_array(
+                np.asarray(token_ids, dtype=np.int64), mlp_override=self._mlp_override
+            )
 
     def sequence_log_likelihood(self, token_ids: np.ndarray, continuation_start: int = 1) -> float:
         """Sum of next-token log-probabilities from ``continuation_start`` onward."""
@@ -307,9 +322,10 @@ class SparseInferenceEngine:
         rng=None,
     ) -> np.ndarray:
         """Autoregressive sampling with the sparsity method active."""
-        return self.model.generate(
-            prompt_ids, max_new_tokens, temperature=temperature, rng=rng, mlp_override=self._mlp_override
-        )
+        with use_backend(self.backend):
+            return self.model.generate(
+                prompt_ids, max_new_tokens, temperature=temperature, rng=rng, mlp_override=self._mlp_override
+            )
 
     def generate_batch(
         self,
@@ -341,14 +357,15 @@ class SparseInferenceEngine:
             for i, out in enumerate(outputs):
                 stacked[i, longest + max_new_tokens - len(out) :] = out
             return stacked
-        return self.model.generate_batch(
-            sequences,
-            max_new_tokens,
-            temperature=temperature,
-            rng=rng,
-            mlp_override=self._mlp_override,
-            pad_id=pad_id,
-        )
+        with use_backend(self.backend):
+            return self.model.generate_batch(
+                sequences,
+                max_new_tokens,
+                temperature=temperature,
+                rng=rng,
+                mlp_override=self._mlp_override,
+                pad_id=pad_id,
+            )
 
 
 class ContinuousBatch:
@@ -388,11 +405,15 @@ class ContinuousBatch:
         max_seq_len: Optional[int] = None,
         pad_id: int = 0,
         prefix_cache: Optional[PrefixCache] = None,
+        backend: BackendLike = None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         self.model = model
         self.mlp_override = mlp_override
+        #: Compute backend the prefill/decode forwards run under (``None``
+        #: inherits the ambient selection; see :mod:`repro.backend`).
+        self.backend = backend
         self.max_batch_size = max_batch_size
         self.max_seq_len = max_seq_len if max_seq_len is not None else model.config.max_seq_len
         self.pad_id = pad_id
@@ -427,6 +448,7 @@ class ContinuousBatch:
                     f"method '{engine.method.name}' requires cache state; prefix caching would "
                     "skip prefix tokens and change the method's masks"
                 )
+        kwargs.setdefault("backend", engine.backend)
         return cls(engine.model, mlp_override=engine.mlp_override, **kwargs)
 
     # ------------------------------------------------------------- slot state
@@ -506,14 +528,15 @@ class ContinuousBatch:
                 )
                 longest = padded.shape[1]
                 staging = self.model.new_kv_caches(max_seq_len=longest, batch_size=len(fresh))
-                logits = self.model.forward_array(
-                    padded,
-                    kv_caches=staging,
-                    mlp_override=self.mlp_override,
-                    attention_mask=key_bias,
-                    position_ids=position_ids,
-                    last_only=True,
-                )
+                with use_backend(self.backend):
+                    logits = self.model.forward_array(
+                        padded,
+                        kv_caches=staging,
+                        mlp_override=self.mlp_override,
+                        attention_mask=key_bias,
+                        position_ids=position_ids,
+                        last_only=True,
+                    )
                 # Copy each prompt's K/V (skipping its pads) into its slot at 0..L-1.
                 for row, i in enumerate(fresh):
                     pad = longest - len(prompts[i])
@@ -556,14 +579,15 @@ class ContinuousBatch:
                 key_bias = np.concatenate(
                     [np.zeros((len(hits), prefix_len)), suffix_bias], axis=1
                 )
-                logits = self.model.forward_array(
-                    padded,
-                    kv_caches=staging,
-                    mlp_override=self.mlp_override,
-                    attention_mask=key_bias,
-                    position_ids=prefix_len + suffix_positions,
-                    last_only=True,
-                )
+                with use_backend(self.backend):
+                    logits = self.model.forward_array(
+                        padded,
+                        kv_caches=staging,
+                        mlp_override=self.mlp_override,
+                        attention_mask=key_bias,
+                        position_ids=prefix_len + suffix_positions,
+                        last_only=True,
+                    )
                 for row, i in enumerate(hits):
                     total = len(prompts[i])
                     pad = widest - int(lengths[row])
@@ -615,13 +639,14 @@ class ContinuousBatch:
         new_lengths = lengths + 1
         total = int(new_lengths.max())
         key_bias = np.where(np.arange(total)[None, :] < new_lengths[:, None], 0.0, MASKED_BIAS)
-        logits = self.model.forward_array(
-            ids,
-            kv_caches=[cache.slot_view(slots) for cache in self.caches],
-            mlp_override=self.mlp_override,
-            attention_mask=key_bias,
-            position_ids=lengths[:, None],
-        )
+        with use_backend(self.backend):
+            logits = self.model.forward_array(
+                ids,
+                kv_caches=[cache.slot_view(slots) for cache in self.caches],
+                mlp_override=self.mlp_override,
+                attention_mask=key_bias,
+                position_ids=lengths[:, None],
+            )
         return logits[:, -1, :]
 
     def evict(self, slot: int) -> None:

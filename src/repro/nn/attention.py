@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
+from repro.backend import active_backend
 from repro.nn.linear import Linear
 from repro.nn.module import Module
 from repro.utils.config import ConfigBase
@@ -400,15 +401,16 @@ class GroupedQueryAttention(Module):
         k_all = k_all[:, :, None]  # (batch, kv_heads, 1, total, head_dim)
         v_all = v_all[:, :, None]
 
+        backend = active_backend()
         scale = 1.0 / np.sqrt(cfg.head_dim)
-        scores = q @ k_all.swapaxes(-1, -2)  # (batch, kv, g, seq, total)
+        scores = backend.matmul(q, k_all.swapaxes(-1, -2))  # (batch, kv, g, seq, total)
         scores *= scale
         if seq > 1:  # a single new token attends to the whole prefix: no mask needed
             scores += _causal_bias_rect(seq, total)
         if attention_mask is not None:
             scores += _broadcast_key_bias(attention_mask, total)
-        weights = F.softmax_array(scores, axis=-1)
-        context = weights @ v_all  # (batch, kv, g, seq, head_dim)
+        weights = backend.softmax(scores, axis=-1)
+        context = backend.matmul(weights, v_all)  # (batch, kv, g, seq, head_dim)
         context = context.reshape(batch, cfg.n_heads, seq, cfg.head_dim)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.d_model)
         out = self.o_proj.forward_array(context)

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend import active_backend
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import new_rng
 
@@ -47,19 +48,12 @@ class Linear(Module):
     def forward_array(self, x: np.ndarray) -> np.ndarray:
         """Inference-only fast path on plain arrays (no autodiff graph).
 
-        Leading batch dimensions are flattened so the whole call is one GEMM
-        (``x @ W.T`` on a 3-D operand would loop one small GEMM per batch
-        element instead).
+        Routed through the active compute backend (see
+        :mod:`repro.backend`), which flattens leading batch dimensions so
+        the whole call is one GEMM.
         """
-        if x.ndim > 2:
-            lead = x.shape[:-1]
-            out = x.reshape(-1, x.shape[-1]) @ self.weight.data.T
-            out = out.reshape(*lead, self.out_features)
-        else:
-            out = x @ self.weight.data.T
-        if self.bias is not None:
-            out += self.bias.data
-        return out
+        bias = self.bias.data if self.bias is not None else None
+        return active_backend().linear(x, self.weight.data, bias)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend import active_backend
 from repro.nn.activations import get_activation
 from repro.nn.linear import Linear
 from repro.nn.module import Module
@@ -89,12 +90,16 @@ class SwiGLUMLP(Module):
         return self.down(up * gate)
 
     # --------------------------------------------------------------- inference
-    def glu_activations_array(self, x: np.ndarray) -> np.ndarray:
-        """Return GLU(x) = (W_u x) * sigma(W_g x) on plain arrays."""
-        up = self.up.forward_array(x)
-        gate = self.activation.forward_array(self.gate.forward_array(x))
-        np.multiply(up, gate, out=up)  # both operands are fresh arrays
-        return up
+    def glu_activations_array(self, x: np.ndarray, input_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return GLU(x) = (W_u x) * sigma(W_g x) on plain arrays.
+
+        ``input_mask`` zeroes input features before the projections (the DIP
+        input-pruning path, Eq. 7); passing it here instead of pre-masking
+        ``x`` lets gather backends exploit the column sparsity.
+        """
+        return active_backend().glu_act(
+            self.w_up, self.w_gate, self.config.activation, x, input_mask=input_mask
+        )
 
     def gate_activations_array(self, x: np.ndarray) -> np.ndarray:
         """Return sigma(W_g x) only (the partial activations used by Gate pruning)."""
@@ -121,11 +126,9 @@ class SwiGLUMLP(Module):
         out input features before the up/gate projections (Dynamic Input
         Pruning, Eq. 7).
         """
-        x_eff = x * input_mask if input_mask is not None else x
-        up = self.up.forward_array(x_eff)
-        gate = self.activation.forward_array(self.gate.forward_array(x_eff))
-        glu = up * gate * neuron_mask
-        return self.down.forward_array(glu)
+        return active_backend().masked_mlp(
+            self.w_up, self.w_gate, self.w_down, self.config.activation, x, neuron_mask, input_mask=input_mask
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"SwiGLUMLP(d_model={self.d_model}, d_ffn={self.d_ffn}, act={self.config.activation})"

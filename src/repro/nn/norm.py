@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend import active_backend
 from repro.nn.module import Module, Parameter
 
 
@@ -26,10 +27,7 @@ class RMSNorm(Module):
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
         """Inference-only path on plain arrays (any leading batch dims)."""
-        mean_sq = np.einsum("...i,...i->...", x, x)[..., None] / x.shape[-1]
-        out = x / np.sqrt(mean_sq + self.eps)
-        out *= self.weight.data
-        return out
+        return active_backend().rmsnorm(x, self.weight.data, self.eps)
 
 
 class LayerNorm(Module):

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, no_grad
+from repro.backend import active_backend
 from repro.nn.attention import AttentionConfig, GroupedQueryAttention, KVCache
 from repro.nn.embedding import Embedding
 from repro.nn.linear import Linear
@@ -260,11 +261,8 @@ class CausalLM(Module):
         if self.lm_head is not None:
             logits = self.lm_head.forward_array(x)
         else:
-            weight = self.embedding.weight.data
-            if x.ndim > 2:  # one GEMM instead of a per-batch-element loop
-                logits = (x.reshape(-1, x.shape[-1]) @ weight.T).reshape(*x.shape[:-1], weight.shape[0])
-            else:
-                logits = x @ weight.T
+            # Tied embedding head: one flattened GEMM through the backend.
+            logits = active_backend().linear(x, self.embedding.weight.data)
         if return_hidden:
             return logits, hidden_states
         return logits

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.backend import BackendLike, use_backend
 from repro.data.tasks import MultipleChoiceTask
 from repro.engine.inference import SparseInferenceEngine
 from repro.engine.throughput import ThroughputEstimate, throughput_for_method
@@ -65,6 +66,7 @@ class SparseSession:
         task_suite: Optional[Dict[str, MultipleChoiceTask]] = None,
         dense_ppl: Optional[float] = None,
         record_masks: bool = False,
+        backend: BackendLike = None,
     ) -> None:
         if isinstance(method, str):
             method = REGISTRY.create(method)
@@ -80,8 +82,11 @@ class SparseSession:
         self.primary_task = primary_task
         self.task_suite = task_suite
         self.dense_ppl = dense_ppl
+        #: Compute backend the session's metrics run under (name, instance, or
+        #: None to inherit the ambient selection — see ``repro.backend``).
+        self.backend: BackendLike = backend
         self.engine: Optional[SparseInferenceEngine] = (
-            SparseInferenceEngine(model, self.method, record_masks=record_masks)
+            SparseInferenceEngine(model, self.method, record_masks=record_masks, backend=backend)
             if model is not None
             else None
         )
@@ -130,6 +135,7 @@ class SparseSession:
                 hardware=hardware,
                 settings=spec.eval.settings(),
                 model_name=spec.model.name,
+                backend=spec.backend,
             )
 
         task_suite = None
@@ -156,6 +162,7 @@ class SparseSession:
             primary_task=primary_task,
             task_suite=task_suite,
             dense_ppl=prepared.dense_ppl,
+            backend=spec.backend,
         )
 
     def with_method(self, method: MethodLike) -> "SparseSession":
@@ -179,6 +186,7 @@ class SparseSession:
             primary_task=self.primary_task,
             task_suite=self.task_suite,
             dense_ppl=self.dense_ppl,
+            backend=self.backend,
         )
 
     def share_calibration(self) -> "SparseSession":
@@ -219,7 +227,8 @@ class SparseSession:
                 )
             sequences = self.calibration_sequences[: self.settings.calibration_sequences]
         assert self.model is not None  # _require_model above
-        self.method.calibrate(self.model, sequences)
+        with use_backend(self.backend):
+            self.method.calibrate(self.model, sequences)
         self._calibrated = True
 
     # ---------------------------------------------------------------- metrics
@@ -265,13 +274,14 @@ class SparseSession:
             raise ValueError("no task given and the session has no primary task")
         self.calibrate()
         assert self.model is not None  # _require_model above
-        return task_accuracy(
-            self.model,
-            task,
-            method=self.method,
-            max_examples=max_examples,
-            batch_size=self.settings.batch_size,
-        )
+        with use_backend(self.backend):
+            return task_accuracy(
+                self.model,
+                task,
+                method=self.method,
+                max_examples=max_examples,
+                batch_size=self.settings.batch_size,
+            )
 
     def suite_accuracy(self, max_examples: Optional[int] = None) -> Dict[str, float]:
         """Accuracy on every task of the session's suite."""
@@ -282,13 +292,14 @@ class SparseSession:
             max_examples = self.settings.max_task_examples
         self.calibrate()
         assert self.model is not None  # _require_model above
-        return suite_accuracy(
-            self.model,
-            self.task_suite,
-            method=self.method,
-            max_examples=max_examples,
-            batch_size=self.settings.batch_size,
-        )
+        with use_backend(self.backend):
+            return suite_accuracy(
+                self.model,
+                self.task_suite,
+                method=self.method,
+                max_examples=max_examples,
+                batch_size=self.settings.batch_size,
+            )
 
     def throughput(
         self,

@@ -18,6 +18,7 @@ import dataclasses
 import json
 from typing import Any, Mapping, Optional, Sequence, Tuple, Type, TypeVar, Union
 
+from repro.backend import available_backends
 from repro.data.tasks import TASK_NAMES
 from repro.experiments.models import PreparationConfig
 from repro.hwsim.device import DeviceSpec, get_device, list_devices
@@ -243,9 +244,17 @@ class ExperimentSpec(ConfigBase):
     #: them — a multi-device hardware sweep evaluated by
     #: :func:`repro.pipeline.runner.hardware_sweep`.
     hardware: HardwareLike = dataclasses.field(default_factory=HardwareSection)
+    #: Compute backend the session's inference runs under (``None`` inherits
+    #: the ambient selection: an explicit ``use_backend`` scope, then the
+    #: ``REPRO_BACKEND`` env var, then the numpy reference).
+    backend: Optional[str] = None
 
     def __post_init__(self):
         _require(bool(self.name), "spec.name must be non-empty")
+        _require(
+            self.backend is None or self.backend in available_backends(),
+            f"unknown backend '{self.backend}'; available: {list(available_backends())}",
+        )
         object.__setattr__(self, "densities", tuple(float(d) for d in self.densities))
         for density in self.densities:
             _require(0.0 < density <= 1.0, f"density {density} must lie in (0, 1]")
@@ -291,6 +300,7 @@ class ExperimentSpec(ConfigBase):
             densities=tuple(data.get("densities", ())),
             eval=_section_from_dict(EvalSection, data.get("eval"), "eval"),
             hardware=data.get("hardware", {}),
+            backend=data.get("backend"),
         )
 
     @classmethod

@@ -32,6 +32,7 @@ from typing import AsyncIterator, Dict, List, Optional
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.engine.inference import ContinuousBatch
 from repro.nn.prefix_cache import PrefixCache
 from repro.nn.transformer import _sample_token
@@ -171,7 +172,9 @@ class ContinuousBatchingScheduler:
     """Serve generation requests through one shared continuous batch.
 
     Built over a calibrated :class:`~repro.pipeline.session.SparseSession`;
-    the session's sparsity method stays active during decode.  Methods whose
+    the session's sparsity method stays active during decode, and every
+    prefill/decode forward runs under the session's compute backend (see
+    :mod:`repro.backend`).  Methods whose
     masks depend on a cache state (``requires_cache_state``, i.e. DIP-CA)
     define token order as part of the method, so the scheduler degrades to a
     batch width of 1 for them (requests are still queued and streamed
@@ -205,6 +208,7 @@ class ContinuousBatchingScheduler:
             max_seq_len=self.config.max_seq_len,
             pad_id=self.config.pad_id,
             prefix_cache=self.prefix_cache,
+            backend=session.backend,
         )
         self._waiting: List[_Entry] = []
         self._active: Dict[int, _Entry] = {}  # slot -> entry
@@ -393,6 +397,7 @@ class ContinuousBatchingScheduler:
             "busy_seconds": busy,
             "tokens_per_second": (self._tokens_generated / busy) if busy > 0 else 0.0,
             "sequential_method": self._sequential_method,
+            "backend": resolve_backend(self.session.backend).name,
             "prefix_cache": prefix,
         }
 

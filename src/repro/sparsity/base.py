@@ -7,6 +7,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.backend import active_backend
 from repro.nn.mlp import SwiGLUMLP
 from repro.nn.transformer import CausalLM
 
@@ -189,18 +190,22 @@ class SparsityMethod:
     ) -> np.ndarray:
         """Masked MLP output for inputs ``x`` of shape ``(T, d_model)``.
 
-        The computation applies the functional masks only; it is numerically
-        identical to gathering the active weight slices and performing the
-        smaller matmuls, but stays vectorised for evaluation speed.
+        The masks are handed to the active compute backend as mask/index-set
+        kernels: the numpy reference applies them masked-dense, gather
+        backends resolve the active-neuron index set and run gather-GEMM over
+        only the active weight slices (see :mod:`repro.backend`).
         """
         if masks is None:
             masks = self.compute_masks(mlp, layer_index, x)
+        backend = active_backend()
         glu = masks.take_glu_cache()
         if glu is None:
-            x_eff = x * masks.input_mask if masks.input_mask is not None else x
-            glu = mlp.glu_activations_array(x_eff)
-        np.multiply(glu, masks.down_mask, out=glu)  # glu is fresh or consumed-once
-        return mlp.down.forward_array(glu)
+            return backend.masked_mlp(
+                mlp.w_up, mlp.w_gate, mlp.w_down, mlp.config.activation,
+                x, masks.down_mask, input_mask=masks.input_mask,
+            )
+        # glu is consumed-once: the backend owns (and may mutate) the buffer.
+        return backend.masked_down(mlp.w_down, glu, masks.down_mask)
 
     # ----------------------------------------------------------- memory plan
     def memory_plan(self) -> Dict[str, tuple]:

@@ -71,8 +71,7 @@ class DynamicInputPruning(SparsityMethod):
 
     def compute_masks(self, mlp: SwiGLUMLP, layer_index: int, x: np.ndarray) -> MLPMasks:
         input_mask = topk_fraction_mask(self.input_scores(x, layer_index), self.input_keep_fraction)
-        x_pruned = x * input_mask
-        glu = mlp.glu_activations_array(x_pruned)
+        glu = mlp.glu_activations_array(x, input_mask=input_mask)
         down_mask = topk_fraction_mask(self.glu_scores(glu, layer_index), self.neuron_keep_fraction)
         return MLPMasks(
             down_mask=down_mask,

@@ -1,0 +1,12 @@
+"""Bad: ``np.matmul``/``np.dot`` on a weight matrix bypasses the backend seam."""
+
+import numpy as np
+
+
+class Head:
+    def project(self, x):
+        return np.matmul(x, self.weight.T)
+
+
+def down_proj(glu, w_down):
+    return np.dot(glu, w_down.T)

@@ -1,0 +1,7 @@
+"""Bad: raw ``@`` on weight matrices bypasses the compute-backend seam."""
+
+
+def forward_array(x, w_up, w_gate):
+    up = x @ w_up.T
+    gate = x @ w_gate.T
+    return up * gate

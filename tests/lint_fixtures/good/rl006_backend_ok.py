@@ -1,0 +1,25 @@
+"""Good: weight products dispatch through the active compute backend.
+
+Tensor-autograd method calls on the training path are deliberately outside
+the seam and must not be flagged either.
+"""
+
+from repro.backend import active_backend
+
+
+class TinyLinear:
+    def __init__(self, weight, bias=None):
+        self.weight = weight
+        self.bias = bias
+
+    def forward_array(self, x):
+        return active_backend().linear(x, self.weight, self.bias)
+
+    def forward(self, x):
+        # Training path: Tensor method matmul, not a raw ndarray GEMM.
+        return x.matmul(self.weight.T)
+
+
+def attention_scores(backend, q, k_all):
+    # Activation-activation products routed through the backend are fine.
+    return backend.matmul(q, k_all.swapaxes(-1, -2))

@@ -35,6 +35,7 @@ DESTINATIONS = {
     "rl004_spec": "src/repro/pipeline/spec.py",
     "rl004_trajectory": "benchmarks/check_trajectory.py",
     "rl005": "src/repro/hwsim/{stem}.py",
+    "rl006": "src/repro/nn/{stem}.py",
 }
 
 #: docs/API.md content the RL004 spec fixtures are checked against.
@@ -77,9 +78,9 @@ BAD = sorted(FIXTURES.glob("bad/*.py"))
 
 def test_fixture_inventory():
     """One good and at least two bad failing cases per rule."""
-    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005"):
+    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005", "rl006"):
         assert any(f.stem.startswith(rule) for f in GOOD), rule
-    assert len(BAD) >= 10  # >= 2 failing cases per rule across the bad files
+    assert len(BAD) >= 12  # >= 2 failing cases per rule across the bad files
 
 
 @pytest.mark.parametrize("fixture", GOOD, ids=lambda p: p.stem)

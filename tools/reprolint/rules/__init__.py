@@ -10,6 +10,7 @@ from tools.reprolint.rules.rl002_buffer_mutation import BorrowedBufferRule
 from tools.reprolint.rules.rl003_registry_contract import RegistryContractRule
 from tools.reprolint.rules.rl004_spec_docs_sync import SpecDocsSyncRule
 from tools.reprolint.rules.rl005_hwsim_literals import HwsimLiteralRule
+from tools.reprolint.rules.rl006_backend_seam import BackendSeamRule
 
 ALL_RULES: List[Rule] = [
     AsyncBlockingRule(),
@@ -17,6 +18,7 @@ ALL_RULES: List[Rule] = [
     RegistryContractRule(),
     SpecDocsSyncRule(),
     HwsimLiteralRule(),
+    BackendSeamRule(),
 ]
 
 KNOWN_RULE_IDS = [rule.id for rule in ALL_RULES]
