@@ -1,0 +1,270 @@
+"""Trace-driven tail-latency benchmark with SLO gates.
+
+Expands a seeded :class:`~repro.serving.workload.WorkloadSpec` (Poisson
+arrivals, log-normal prompt/decode lengths, shared-prefix tenant fleets) into
+a deterministic request trace and replays it against a live
+:class:`~repro.serving.scheduler.ContinuousBatchingScheduler` on the tiny
+model-zoo model, twice:
+
+* **traced** — ``trace_requests=True`` (the default serving configuration):
+  per-request :class:`~repro.obs.tracing.Trace` spans feed the latency
+  histograms and ``GenerationResult.timings``.
+* **untraced** — ``trace_requests=False``: the instrumentation-off baseline.
+
+From the traced replay it reports tail latency (p50/p95/p99 time-to-first-
+token, inter-token gap, queue wait) and SLO attainment — the fraction of
+requests whose TTFT met the deadline, and the fraction of generated tokens
+belonging to SLO-met requests (goodput).  From the paired replays it reports
+the observability overhead as ``speedup_vs_untraced`` (untraced busy seconds
+/ traced busy seconds; busy = prefill + decode forwards only, so arrival
+idle time cannot wash the ratio out).
+
+Runs standalone (no pytest, no trained checkpoints)::
+
+    PYTHONPATH=src python benchmarks/bench_latency_slo.py [--check] [--fast]
+
+``--check`` exits non-zero if greedy outputs differ traced vs untraced, if
+tracing costs more than ``OVERHEAD_GATE`` (1.05x) of the untraced busy time,
+or if TTFT SLO attainment falls below ``ATTAINMENT_GATE``; ``--fast``
+shrinks the trace for CI smoke runs.  The JSON record lands at the repo root
+(``BENCH_latency_slo.json``) and its ratio metrics are tracked by
+``benchmarks/check_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.model_zoo import build_model
+from repro.obs import TraceSink, monotonic
+from repro.pipeline.session import SparseSession
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    GenerationResult,
+    SchedulerConfig,
+    WorkloadSpec,
+    generate_workload,
+    replay_workload,
+    summarize_results,
+)
+
+_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = _ROOT / "BENCH_latency_slo.json"
+
+MODEL_NAME = "tiny"  # smallest zoo entry: timing does not need trained weights
+METHOD = "dip"
+
+#: Tracing must keep busy time within this factor of the untraced baseline
+#: (the --check gate on observability overhead).
+OVERHEAD_GATE = 1.05
+
+#: Fraction of requests whose TTFT must meet the deadline under --check.
+ATTAINMENT_GATE = 0.8
+
+#: TTFT deadline defining the SLO.  Generous for the tiny model so the gate
+#: probes scheduling pathologies (a stalled queue), not machine speed.
+TTFT_DEADLINE_S = 0.5
+
+
+def make_session() -> SparseSession:
+    rng = np.random.default_rng(0)
+    model = build_model(MODEL_NAME, seed=0)
+    model.eval()
+    vocab = model.config.vocab_size
+    return SparseSession(
+        model,
+        METHOD,
+        model_name=MODEL_NAME,
+        calibration_sequences=rng.integers(0, vocab, size=(4, 16)),
+        eval_sequences=rng.integers(0, vocab, size=(4, 12)),
+    )
+
+
+def make_spec(vocab_size: int, fast: bool) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="latency-slo",
+        seed=7,
+        n_requests=16 if fast else 48,
+        arrival="poisson",
+        rate_per_s=200.0,
+        prompt_len_mean=12.0,
+        prompt_len_sigma=0.6,
+        prompt_len_max=24,
+        decode_len_mean=8.0,
+        decode_len_sigma=0.6,
+        decode_len_max=12,
+        vocab_size=vocab_size,
+        tenants=4,
+        shared_prefix_len=6,
+    )
+
+
+async def _replay(
+    session: SparseSession,
+    trace,
+    *,
+    traced: bool,
+    sink: Optional[TraceSink] = None,
+) -> Tuple[List[Optional[GenerationResult]], Dict[str, object], float]:
+    config = SchedulerConfig(max_batch_size=4, max_seq_len=64, trace_requests=traced)
+    started = monotonic()
+    async with ContinuousBatchingScheduler(session, config, trace_sink=sink) as scheduler:
+        results = await replay_workload(scheduler, trace)
+        stats = scheduler.stats()
+    return results, stats, monotonic() - started
+
+
+def _tokens(results: Sequence[Optional[GenerationResult]]) -> List[Tuple[int, ...]]:
+    assert all(r is not None for r in results), "a replayed request failed server-side"
+    return [r.tokens for r in results if r is not None]
+
+
+def run(fast: bool = False, trace_output: Optional[Path] = None) -> Dict[str, object]:
+    session = make_session()
+    spec = make_spec(int(session.model.config.vocab_size), fast)
+    trace = generate_workload(spec)
+    repeats = 2 if fast else 3
+
+    sink = TraceSink(trace_output) if trace_output is not None else None
+    traced_results: List[Optional[GenerationResult]] = []
+    traced_busy = untraced_busy = float("inf")
+    traced_wall = untraced_wall = float("inf")
+    untraced_tokens: List[Tuple[int, ...]] = []
+    final_stats: Dict[str, object] = {}
+    try:
+        for repeat in range(repeats):
+            results, stats, wall = asyncio.run(
+                _replay(session, trace, traced=True, sink=sink if repeat == 0 else None)
+            )
+            busy = float(stats["busy_seconds"])  # type: ignore[arg-type]
+            if busy < traced_busy:
+                traced_busy, traced_wall = busy, wall
+                traced_results, final_stats = results, stats
+            results_off, stats_off, wall_off = asyncio.run(_replay(session, trace, traced=False))
+            busy_off = float(stats_off["busy_seconds"])  # type: ignore[arg-type]
+            if busy_off < untraced_busy:
+                untraced_busy, untraced_wall = busy_off, wall_off
+                untraced_tokens = _tokens(results_off)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    parity = _tokens(traced_results) == untraced_tokens
+    latency = summarize_results(traced_results)
+
+    met_tokens = 0
+    total_tokens = 0
+    n_met = 0
+    for result in traced_results:
+        assert result is not None and result.timings is not None
+        total_tokens += result.n_generated
+        if result.timings["ttft_s"] <= TTFT_DEADLINE_S:
+            n_met += 1
+            met_tokens += result.n_generated
+    attainment = n_met / len(traced_results)
+    goodput = (met_tokens / total_tokens) if total_tokens else 0.0
+
+    payload: Dict[str, object] = {
+        "model": MODEL_NAME,
+        "method": METHOD,
+        "workload": spec.to_dict(),
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "parity_traced_vs_untraced": parity,
+        "latency": latency,
+        "slo": {
+            "ttft_deadline_s": TTFT_DEADLINE_S,
+            "requests_met": n_met,
+            "attainment_rate": attainment,
+            "goodput_fraction": goodput,
+        },
+        "observability": {
+            "busy_traced_s": traced_busy,
+            "busy_untraced_s": untraced_busy,
+            "wall_traced_s": traced_wall,
+            "wall_untraced_s": untraced_wall,
+            "speedup_vs_untraced": (untraced_busy / traced_busy) if traced_busy > 0 else 0.0,
+            "overhead_gate": OVERHEAD_GATE,
+        },
+        "scheduler": {
+            "tokens_generated": int(final_stats["tokens_generated"]),  # type: ignore[arg-type]
+            "decode_steps": int(final_stats["decode_steps"]),  # type: ignore[arg-type]
+            "mean_step_batch": float(final_stats["mean_step_batch"]),  # type: ignore[arg-type]
+            "tokens_per_second": float(final_stats["tokens_per_second"]),  # type: ignore[arg-type]
+            "admit_seconds": float(final_stats["admit_seconds"]),  # type: ignore[arg-type]
+            "step_seconds": float(final_stats["step_seconds"]),  # type: ignore[arg-type]
+        },
+    }
+    if sink is not None:
+        payload["trace_lines_written"] = sink.written
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if greedy parity breaks traced vs untraced, "
+                             f"tracing overhead exceeds {OVERHEAD_GATE}x, or TTFT SLO "
+                             f"attainment falls below {ATTAINMENT_GATE:.0%}")
+    parser.add_argument("--fast", action="store_true", help="smaller trace for CI smoke runs")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH,
+                        help=f"where to write the JSON record (default: {RESULT_PATH})")
+    parser.add_argument("--output-dir", type=Path, default=None,
+                        help="directory receiving BENCH_latency_slo.json (overrides --output; "
+                             "used by the nightly trajectory job)")
+    parser.add_argument("--trace-output", type=Path, default=None,
+                        help="also write the traced replay's per-request ndjson trace log here")
+    args = parser.parse_args(argv)
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        args.output = args.output_dir / RESULT_PATH.name
+
+    payload = run(fast=args.fast, trace_output=args.trace_output)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    workload = payload["workload"]
+    latency = payload["latency"]
+    slo = payload["slo"]
+    obs = payload["observability"]
+    print(f"latency SLO — {payload['model']}/{payload['method']} "
+          f"({workload['n_requests']} requests, {workload['arrival']} arrivals at "
+          f"{workload['rate_per_s']:.0f}/s, {workload['tenants']} tenants)")
+    for label in ("ttft", "intertoken", "queue"):
+        print(f"  {label:<10}  p50 {latency[f'{label}_p50_s']*1e3:7.2f} ms   "
+              f"p95 {latency[f'{label}_p95_s']*1e3:7.2f} ms   "
+              f"p99 {latency[f'{label}_p99_s']*1e3:7.2f} ms")
+    print(f"  SLO (TTFT <= {slo['ttft_deadline_s']*1e3:.0f} ms): "
+          f"attainment {slo['attainment_rate']:.1%}, goodput {slo['goodput_fraction']:.1%}")
+    print(f"  tracing overhead: busy {obs['busy_traced_s']*1e3:.1f} ms traced vs "
+          f"{obs['busy_untraced_s']*1e3:.1f} ms untraced "
+          f"(speedup_vs_untraced {obs['speedup_vs_untraced']:.3f}x)")
+    print(f"written to {args.output}")
+
+    ok = True
+    if not payload["parity_traced_vs_untraced"]:
+        ok = False
+        print("tracing changed greedy serving outputs (parity failure)", file=sys.stderr)
+    if obs["speedup_vs_untraced"] < 1.0 / OVERHEAD_GATE:
+        ok = False
+        print(f"tracing overhead {1.0 / obs['speedup_vs_untraced']:.3f}x exceeds the "
+              f"{OVERHEAD_GATE}x gate", file=sys.stderr)
+    if slo["attainment_rate"] < ATTAINMENT_GATE:
+        ok = False
+        print(f"TTFT SLO attainment {slo['attainment_rate']:.1%} is below the "
+              f"{ATTAINMENT_GATE:.0%} gate", file=sys.stderr)
+    if args.check and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,11 @@ TRACKED_METRICS = {
         "strategies.continuous.speedup_vs_sequential": "higher",
         "strategies.lockstep.speedup_vs_sequential": "higher",
     },
+    "BENCH_latency_slo.json": {
+        "observability.speedup_vs_untraced": "higher",
+        "slo.attainment_rate": "higher",
+        "slo.goodput_fraction": "higher",
+    },
     "BENCH_sparse_kernels.json": {
         "densities.d015.speedup": "higher",
         "densities.d025.speedup": "higher",

@@ -3,8 +3,9 @@
 Boots a :class:`~repro.serving.server.ServingServer` on the tiny zoo model
 with DIP active, fires N concurrent ``/generate`` requests from client
 threads (half of them streaming token-by-token), prints every result plus the
-``/stats`` payload, and asserts that all requests completed and a tokens/sec
-figure was recorded — the same smoke contract the CI serving job relies on.
+``/stats`` payload and a sample ``/metrics`` scrape, and asserts that all
+requests completed and a tokens/sec figure was recorded — the same smoke
+contract the CI serving job relies on.
 
 The server binds port 0 so the OS assigns a free ephemeral port; every client
 reads the actual address back from ``BackgroundServer.url``.  The demo can
@@ -96,6 +97,20 @@ def main() -> None:
         connection.request("GET", "/stats")
         stats = json.loads(connection.getresponse().read())
         connection.close()
+
+        print(f"\nMetrics endpoint: {url}/metrics (Prometheus text; "
+              f"append ?format=json for the JSON snapshot)")
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        connection.request("GET", "/metrics")
+        exposition = connection.getresponse().read().decode()
+        connection.close()
+        interesting = ("serving_requests_completed_total", "serving_tokens_generated_total",
+                       "serving_ttft_seconds_count", "serving_ttft_seconds_sum")
+        print("Sample scrape:")
+        for line in exposition.splitlines():
+            if line.startswith(interesting):
+                print(f"  {line}")
+        assert "# TYPE serving_ttft_seconds histogram" in exposition
 
     scheduler = stats["scheduler"]
     print("\nScheduler stats:")

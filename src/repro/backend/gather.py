@@ -150,6 +150,25 @@ class GatherGEMMBackend(NumpyBackend):
             "cache_promotions": 0,
         }
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Public snapshot of the plan-cache behaviour (``/stats``, ``/metrics``).
+
+        ``plan_hits`` — steady-state compiled-plan hits; ``promotions`` —
+        index sets compiled into a plan on their second sighting;
+        ``misses`` — first sightings (served masked-dense); ``gather_calls``
+        / ``dense_calls`` — which kernel regime each sparse MLP call took
+        (``dense_calls`` includes the masked-dense fallbacks for unseen or
+        above-crossover unions).
+        """
+        return {
+            "gather_calls": int(self.stats["gather_calls"]),
+            "dense_calls": int(self.stats["dense_calls"]),
+            "plan_hits": int(self.stats["cache_hits"]),
+            "misses": int(self.stats["cache_misses"]),
+            "promotions": int(self.stats["cache_promotions"]),
+            "cached_plans": len(self._plans),
+        }
+
     def clear_cache(self) -> None:
         """Drop every cached gathered submatrix, plan, and promotion record."""
         with self._lock:

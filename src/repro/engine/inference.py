@@ -422,6 +422,7 @@ class ContinuousBatch:
         self.occupied = np.zeros(max_batch_size, dtype=bool)
         self.slot_request_ids: dict = {}  # slot -> request id
         self.slot_deadlines: dict = {}  # slot -> absolute deadline
+        self.slot_prefill: dict = {}  # slot -> (prompt_tokens, forwarded_tokens)
         self.prefill_tokens_total = 0
         self.prefill_tokens_forwarded = 0
 
@@ -549,6 +550,7 @@ class ContinuousBatch:
                     logits_out[i] = logits[row, -1]
                     self.prefill_tokens_total += len(prompts[i])
                     self.prefill_tokens_forwarded += len(prompts[i])
+                    self.slot_prefill[slots[i]] = (len(prompts[i]), len(prompts[i]))
             # Hit prompts prefill only their unseen suffixes, batched per
             # matched prefix length (shared-head traffic matches one length,
             # so steady state is one forward): each staging row is seeded
@@ -608,6 +610,7 @@ class ContinuousBatch:
                     logits_out[i] = logits[row, -1]
                     self.prefill_tokens_total += total
                     self.prefill_tokens_forwarded += total - prefix_len
+                    self.slot_prefill[slots[i]] = (total, total - prefix_len)
         finally:
             for match in matches:
                 if match is not None:
@@ -657,6 +660,7 @@ class ContinuousBatch:
         self.occupied[slot] = False
         self.slot_request_ids.pop(slot, None)
         self.slot_deadlines.pop(slot, None)
+        self.slot_prefill.pop(slot, None)
 
     def cancel(self, request_id: str) -> Optional[int]:
         """Evict the slot serving ``request_id``; returns the freed slot.
@@ -691,6 +695,7 @@ class ContinuousBatch:
         self.occupied[:] = False
         self.slot_request_ids.clear()
         self.slot_deadlines.clear()
+        self.slot_prefill.clear()
         self.prefill_tokens_total = 0
         self.prefill_tokens_forwarded = 0
 

@@ -1,0 +1,49 @@
+"""``repro.obs`` — dependency-free observability: metrics, tracing, clocks.
+
+Three pieces, all stdlib:
+
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` (log-spaced latency buckets, exact-until-capacity
+  reservoir quantiles) behind a :class:`MetricsRegistry` with label support,
+  JSON snapshots, and Prometheus text rendering.  :func:`get_registry` is the
+  process-global default.
+* :mod:`repro.obs.tracing` — per-request :class:`Trace` span records, the
+  ndjson :class:`TraceSink`, and :func:`monotonic`, the one clock every
+  serving duration is measured on (enforced by reprolint RL007).
+* :mod:`repro.obs.catalog` — :data:`METRIC_CATALOG`, the literal name→help
+  table every emitted metric must appear in (also enforced by RL007).
+
+.. code-block:: python
+
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("serving_requests_submitted_total").inc()
+    print(registry.render_prometheus())
+"""
+
+from repro.obs.catalog import METRIC_CATALOG
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    quantile,
+)
+from repro.obs.tracing import Trace, TraceSink, monotonic
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRIC_CATALOG",
+    "MetricsRegistry",
+    "Trace",
+    "TraceSink",
+    "get_registry",
+    "monotonic",
+    "quantile",
+]

@@ -1,0 +1,191 @@
+"""Per-request tracing: timed spans from submission to retirement.
+
+A :class:`Trace` follows one generation request through the scheduler's
+lifecycle — ``queued`` → ``admitted`` → ``prefill`` (with cached vs forwarded
+token attribution) → per-step ``decode`` → finished — plus free-form
+annotations for the irregular exits (cancel, timeout, error).  The scheduler
+marks traces at slot granularity; :meth:`Trace.timings` condenses a finished
+trace into the ``GenerationResult.timings`` dict (ttft_s, queue_s,
+decode_tokens_per_s, …) and :meth:`Trace.to_dict` serialises the full span
+list for the ndjson :class:`TraceSink`.
+
+All timestamps are on the monotonic clock exported here as
+:func:`monotonic` — serving code must route through it (reprolint RL007
+flags raw ``time.perf_counter()`` bookkeeping in ``repro.serving``), so
+every duration in the system is measured on one clock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, TextIO, Union
+
+
+def monotonic() -> float:
+    """The observability clock (monotonic, sub-microsecond resolution)."""
+    return time.perf_counter()
+
+
+def _now(now: Optional[float]) -> float:
+    return monotonic() if now is None else float(now)
+
+
+class Trace:
+    """Timed span record of one request's path through the scheduler.
+
+    The ``now`` parameters accept an explicit timestamp so tests can build
+    traces with known timings; production callers omit them.
+    """
+
+    __slots__ = ("request_id", "created_s", "admitted_s", "prefill_end_s",
+                 "finished_s", "finish_reason", "prompt_tokens",
+                 "forwarded_tokens", "token_times", "annotations")
+
+    def __init__(self, request_id: str, now: Optional[float] = None) -> None:
+        self.request_id = request_id
+        self.created_s = _now(now)  # the queued span starts at submission
+        self.admitted_s: Optional[float] = None
+        self.prefill_end_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.finish_reason = ""
+        self.prompt_tokens = 0
+        self.forwarded_tokens = 0
+        self.token_times: List[float] = []
+        self.annotations: Dict[str, Any] = {}
+
+    # ----------------------------------------------------------------- marks
+    def mark_admitted(self, now: Optional[float] = None) -> None:
+        """End the queued span: the request entered a prefill batch."""
+        self.admitted_s = _now(now)
+
+    def mark_prefilled(
+        self, prompt_tokens: int, forwarded_tokens: int, now: Optional[float] = None
+    ) -> None:
+        """End the prefill span, attributing cached vs forwarded prompt tokens."""
+        self.prefill_end_s = _now(now)
+        self.prompt_tokens = int(prompt_tokens)
+        self.forwarded_tokens = int(forwarded_tokens)
+
+    def mark_token(self, now: Optional[float] = None) -> None:
+        """Record one decoded token (the per-step decode span boundaries)."""
+        self.token_times.append(_now(now))
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach an irregular-exit note (error text, cancel origin, …)."""
+        self.annotations[str(key)] = value
+
+    def finish(self, reason: str, now: Optional[float] = None) -> None:
+        self.finished_s = _now(now)
+        self.finish_reason = str(reason)
+
+    # --------------------------------------------------------------- derived
+    @property
+    def cached_tokens(self) -> int:
+        """Prompt tokens whose prefill forward the prefix cache eliminated."""
+        return max(0, self.prompt_tokens - self.forwarded_tokens)
+
+    def timings(self) -> Dict[str, float]:
+        """Condensed latency summary (the ``GenerationResult.timings`` dict).
+
+        ``queue_s`` submission→admission, ``prefill_s`` the admission forward,
+        ``ttft_s`` submission→first token, ``decode_s`` first→last token,
+        ``decode_tokens_per_s`` over the decode span (0.0 for <2 tokens),
+        ``total_s`` submission→retirement.  A request retired before admission
+        reports its whole life as ``queue_s``.
+        """
+        end = self.finished_s if self.finished_s is not None else self.created_s
+        admitted = self.admitted_s
+        queue_s = (admitted - self.created_s) if admitted is not None else (end - self.created_s)
+        prefill_s = 0.0
+        if admitted is not None and self.prefill_end_s is not None:
+            prefill_s = self.prefill_end_s - admitted
+        ttft_s = (self.token_times[0] - self.created_s) if self.token_times else 0.0
+        decode_s = (self.token_times[-1] - self.token_times[0]) if len(self.token_times) > 1 else 0.0
+        decode_tps = ((len(self.token_times) - 1) / decode_s) if decode_s > 0 else 0.0
+        return {
+            "queue_s": queue_s,
+            "prefill_s": prefill_s,
+            "ttft_s": ttft_s,
+            "decode_s": decode_s,
+            "decode_tokens_per_s": decode_tps,
+            "total_s": end - self.created_s,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe full trace: spans, per-token offsets, annotations.
+
+        Offsets are relative to submission (monotonic absolutes are
+        meaningless across processes); span boundaries reflect the lifecycle
+        marks actually reached.
+        """
+        base = self.created_s
+        spans: List[Dict[str, Any]] = []
+        if self.admitted_s is not None:
+            spans.append({"name": "queued", "start_s": 0.0, "end_s": self.admitted_s - base})
+            if self.prefill_end_s is not None:
+                spans.append({
+                    "name": "prefill",
+                    "start_s": self.admitted_s - base,
+                    "end_s": self.prefill_end_s - base,
+                    "prompt_tokens": self.prompt_tokens,
+                    "cached_tokens": self.cached_tokens,
+                    "forwarded_tokens": self.forwarded_tokens,
+                })
+        elif self.finished_s is not None:
+            spans.append({"name": "queued", "start_s": 0.0, "end_s": self.finished_s - base})
+        if self.token_times:
+            spans.append({
+                "name": "decode",
+                "start_s": self.token_times[0] - base,
+                "end_s": self.token_times[-1] - base,
+                "tokens": len(self.token_times),
+            })
+        return {
+            "request_id": self.request_id,
+            "finish_reason": self.finish_reason,
+            "spans": spans,
+            "token_times_s": [t - base for t in self.token_times],
+            "annotations": dict(self.annotations),
+            "timings": self.timings(),
+        }
+
+
+class TraceSink:
+    """Opt-in ndjson sink: one JSON line per finished request trace.
+
+    Thread-safe and lazily opened; use as a context manager or call
+    :meth:`close`.  The scheduler writes each trace at retirement, so a sink
+    attached to a live server yields a replayable request log.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file: Optional[TextIO] = None
+        self._lock = threading.Lock()
+        self.written = 0
+
+    def write(self, trace: Union[Trace, Mapping[str, Any]]) -> None:
+        payload = trace.to_dict() if isinstance(trace, Trace) else dict(trace)
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line)
+            self._file.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

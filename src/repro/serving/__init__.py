@@ -19,7 +19,18 @@ request-driven service:
   out per-worker :class:`~repro.pipeline.session.SparseSession` clones.
 * :mod:`repro.serving.server` — a stdlib asyncio HTTP front-end
   (``/generate`` with incremental token streaming, ``/experiment``,
-  ``/stats``) plus :class:`BackgroundServer` for tests and demos.
+  ``/stats``, ``/metrics`` in Prometheus or JSON form) plus
+  :class:`BackgroundServer` for tests and demos.
+* :mod:`repro.serving.workload` — :class:`WorkloadSpec` synthetic traces
+  (Poisson/bursty arrivals, log-normal lengths, shared-prefix tenant fleets)
+  expanded deterministically by :func:`generate_workload` and replayed with
+  :func:`replay_workload` — the input side of
+  ``benchmarks/bench_latency_slo.py``.
+
+Observability: the scheduler keeps every counter/histogram in a
+:class:`~repro.obs.metrics.MetricsRegistry` and (by default) attaches a
+per-request :class:`~repro.obs.tracing.Trace` surfaced as
+``GenerationResult.timings``; see :mod:`repro.obs`.
 
 .. code-block:: python
 
@@ -43,9 +54,18 @@ from repro.serving.scheduler import (
 )
 from repro.serving.pool import SessionPool
 from repro.serving.server import BackgroundServer, ServingServer
+from repro.serving.workload import (
+    ARRIVAL_PROCESSES,
+    WorkloadRequest,
+    WorkloadSpec,
+    generate_workload,
+    replay_workload,
+    summarize_results,
+)
 
 __all__ = [
     "ADMISSION_POLICIES",
+    "ARRIVAL_PROCESSES",
     "BackgroundServer",
     "ContinuousBatchingScheduler",
     "GenerationRequest",
@@ -55,5 +75,10 @@ __all__ = [
     "ServingServer",
     "SessionPool",
     "TokenStream",
+    "WorkloadRequest",
+    "WorkloadSpec",
+    "generate_workload",
+    "replay_workload",
     "run_experiment_payload",
+    "summarize_results",
 ]

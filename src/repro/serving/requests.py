@@ -137,7 +137,11 @@ class GenerationResult:
     ``tokens`` holds only the *generated* continuation;
     :meth:`full_sequence` prepends the prompt.  Timing fields are filled by
     the scheduler: ``queued_seconds`` (arrival → first prefill) and
-    ``decode_seconds`` (prefill start → last token).
+    ``decode_seconds`` (prefill start → last token).  When the scheduler runs
+    with ``SchedulerConfig.trace_requests`` (the default), ``timings`` carries
+    the request's condensed :meth:`~repro.obs.tracing.Trace.timings` summary —
+    ``queue_s``, ``prefill_s``, ``ttft_s``, ``decode_s``,
+    ``decode_tokens_per_s``, ``total_s`` — and is ``None`` otherwise.
 
     ``finish_reason`` says why generation stopped: ``"length"`` (the
     ``max_new_tokens`` budget completed), ``"timeout"`` (the request's
@@ -153,10 +157,19 @@ class GenerationResult:
     finish_reason: str = "length"
     queued_seconds: float = 0.0
     decode_seconds: float = 0.0
+    timings: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "prompt", tuple(int(t) for t in self.prompt))
         object.__setattr__(self, "tokens", tuple(int(t) for t in self.tokens))
+        if self.timings is not None:
+            if not isinstance(self.timings, Mapping):
+                raise RequestError(
+                    f"result.timings must be a mapping or null, got {type(self.timings).__name__}"
+                )
+            object.__setattr__(
+                self, "timings", {str(k): float(v) for k, v in self.timings.items()}
+            )
 
     def full_sequence(self) -> np.ndarray:
         """Prompt + continuation as one int64 array (the ``generate`` layout)."""

@@ -11,9 +11,10 @@ Determinism contract: with greedy decoding (``temperature == 0``) every
 request's tokens are identical to a one-at-a-time
 :meth:`~repro.engine.inference.SparseInferenceEngine.generate` call,
 regardless of arrival order, admission policy, or batch composition — and
-regardless of whether the prefix cache served any of the prompt heads.
-Sampled decoding draws from a per-request RNG (``request.seed``), so a
-request's draws do not depend on its batch neighbours either.
+regardless of whether the prefix cache served any of the prompt heads, or
+whether per-request tracing is enabled.  Sampled decoding draws from a
+per-request RNG (``request.seed``), so a request's draws do not depend on
+its batch neighbours either.
 
 Lifecycle control: a request with ``timeout_s`` is retired the moment its
 deadline passes — still queued or mid-decode (its KV slot is freed
@@ -21,6 +22,19 @@ immediately and handed to the next queued request) — finishing with
 ``finish_reason="timeout"`` and its partial tokens.  :meth:`cancel` does the
 same on demand (``finish_reason="cancelled"``); the HTTP server calls it
 when a streaming client disconnects.
+
+Observability: every lifetime counter lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``registry`` — by default a
+private one so per-scheduler counts stay exact; pass
+``repro.obs.get_registry()`` to aggregate process-wide), the server exposes
+it at ``GET /metrics``, and with ``SchedulerConfig.trace_requests`` each
+request carries a :class:`~repro.obs.tracing.Trace` of timed spans
+(queued → admitted → prefill → per-step decode → finished) surfaced as
+``GenerationResult.timings`` and, via ``trace_sink``, an ndjson request log.
+Busy time is accounted per phase — ``serving_admit_seconds_total`` /
+``serving_step_seconds_total`` wrap only the prefill and decode forwards —
+so ``tokens_per_second`` is measured over decode-active wall time and can
+never be deflated by idle periods or queue-expiry sweeps.
 """
 
 from __future__ import annotations
@@ -36,6 +50,7 @@ from repro.backend import resolve_backend
 from repro.engine.inference import ContinuousBatch
 from repro.nn.prefix_cache import PrefixCache
 from repro.nn.transformer import _sample_token
+from repro.obs import MetricsRegistry, Trace, TraceSink, monotonic
 from repro.pipeline.session import SparseSession
 from repro.serving.requests import GenerationRequest, GenerationResult, RequestError
 from repro.utils.logging import get_logger
@@ -70,6 +85,11 @@ class SchedulerConfig:
     prefix_cache_bytes: int = 32 * 1024 * 1024
     #: Token granularity of prefix sharing (trie block size).
     prefix_block_size: int = 16
+    #: Attach a per-request :class:`~repro.obs.tracing.Trace` (timed spans,
+    #: ``GenerationResult.timings``, latency histograms).  ``False`` keeps
+    #: only the aggregate counters — the instrumentation-off baseline of
+    #: ``benchmarks/bench_latency_slo.py``'s overhead gate.
+    trace_requests: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -88,9 +108,10 @@ class _Entry:
     """Scheduler-side state of one in-flight request."""
 
     __slots__ = ("request", "rng", "tokens", "stream", "slot", "last_token", "error",
-                 "submitted_at", "started_at", "finished_at", "deadline", "finish_reason")
+                 "submitted_at", "started_at", "finished_at", "deadline", "finish_reason",
+                 "trace")
 
-    def __init__(self, request: GenerationRequest) -> None:
+    def __init__(self, request: GenerationRequest, trace_requests: bool = True) -> None:
         self.request = request
         self.rng = new_rng(request.seed)
         self.tokens: List[int] = []
@@ -100,13 +121,16 @@ class _Entry:
         # admission-time _emit before any _step reads it.
         self.last_token: int = -1
         self.error: Optional[BaseException] = None
-        self.submitted_at = time.perf_counter()
+        self.submitted_at = monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.deadline: Optional[float] = (
             self.submitted_at + request.timeout_s if request.timeout_s is not None else None
         )
         self.finish_reason = "length"
+        self.trace: Optional[Trace] = (
+            Trace(request.request_id, now=self.submitted_at) if trace_requests else None
+        )
 
     @property
     def remaining(self) -> int:
@@ -128,6 +152,7 @@ class _Entry:
             finish_reason=self.finish_reason,
             queued_seconds=queued,
             decode_seconds=decode,
+            timings=self.trace.timings() if self.trace is not None else None,
         )
 
 
@@ -186,7 +211,14 @@ class ContinuousBatchingScheduler:
             result = await scheduler.submit(GenerationRequest(prompt=(1, 2, 3)))
     """
 
-    def __init__(self, session: SparseSession, config: Optional[SchedulerConfig] = None) -> None:
+    def __init__(
+        self,
+        session: SparseSession,
+        config: Optional[SchedulerConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        trace_sink: Optional[TraceSink] = None,
+    ) -> None:
         if session.engine is None:
             raise ValueError("the scheduler needs a session with a prepared model")
         self.session = session
@@ -216,16 +248,31 @@ class ContinuousBatchingScheduler:
         self._task: Optional[asyncio.Task[None]] = None
         self._stopping = False
         self._request_counter = 0
-        # Counters for /stats.
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._timed_out = 0
-        self._cancelled = 0
-        self._tokens_generated = 0
-        self._steps = 0
-        self._step_slots = 0
-        self._busy_seconds = 0.0
+        self._trace_sink = trace_sink
+        #: The registry behind ``/stats`` and ``/metrics``.  A private one by
+        #: default so per-scheduler counts stay exact under tests; pass
+        #: ``repro.obs.get_registry()`` to aggregate into the process global.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._c_submitted = reg.counter("serving_requests_submitted_total")
+        self._c_completed = reg.counter("serving_requests_completed_total")
+        self._c_failed = reg.counter("serving_requests_failed_total")
+        self._c_timed_out = reg.counter("serving_requests_timed_out_total")
+        self._c_cancelled = reg.counter("serving_requests_cancelled_total")
+        self._c_tokens = reg.counter("serving_tokens_generated_total")
+        self._c_steps = reg.counter("serving_decode_steps_total")
+        self._c_step_slots = reg.counter("serving_decode_step_slots_total")
+        # Decode-active wall time, by phase: admit wraps only the batched
+        # prefill forwards, step only the lock-step decode forwards — never
+        # queue-expiry sweeps or loop bookkeeping, so throughput derived from
+        # them cannot be skewed by idle periods.
+        self._c_admit_seconds = reg.counter("serving_admit_seconds_total")
+        self._c_step_seconds = reg.counter("serving_step_seconds_total")
+        method_labels = {"method": session.method.name}
+        self._h_queue = reg.histogram("serving_queue_seconds", labels=method_labels)
+        self._h_ttft = reg.histogram("serving_ttft_seconds", labels=method_labels)
+        self._h_itl = reg.histogram("serving_intertoken_seconds", labels=method_labels)
+        reg.register_collector(self._collect_gauges)
 
     # ---------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -281,9 +328,9 @@ class ContinuousBatchingScheduler:
             updates["arrival_time"] = time.time()
         if updates:
             request = dataclasses.replace(request, **updates)
-        entry = _Entry(request)
+        entry = _Entry(request, trace_requests=self.config.trace_requests)
         self._waiting.append(entry)
-        self._submitted += 1
+        self._c_submitted.inc()
         self._wake.set()
         return entry
 
@@ -331,12 +378,12 @@ class ContinuousBatchingScheduler:
         for index, entry in enumerate(self._waiting):
             if entry.request.request_id == request_id:
                 del self._waiting[index]
-                self._cancelled += 1
+                self._c_cancelled.inc()
                 self._retire(entry, "cancelled")
                 return True
         for entry in list(self._active.values()):
             if entry.request.request_id == request_id:
-                self._cancelled += 1
+                self._c_cancelled.inc()
                 self._retire(entry, "cancelled")
                 return True
         return False
@@ -344,20 +391,26 @@ class ContinuousBatchingScheduler:
     def _retire(self, entry: _Entry, reason: str) -> None:
         """Finish ``entry`` with ``reason``, freeing its slot if it has one."""
         entry.finish_reason = reason
-        entry.finished_at = time.perf_counter()
+        entry.finished_at = monotonic()
         if entry.slot is not None and entry.slot in self._active:
             self.batch.evict(entry.slot)
             del self._active[entry.slot]
+        if entry.trace is not None:
+            if entry.error is not None:
+                entry.trace.annotate("error", str(entry.error))
+            entry.trace.finish(reason, now=entry.finished_at)
+            if self._trace_sink is not None:
+                self._trace_sink.write(entry.trace)
         entry.stream.put_nowait(_DONE)
 
     def _expire_deadlines(self) -> None:
         """Retire every queued or active request whose deadline has passed."""
-        now = time.perf_counter()
+        now = monotonic()
         overdue = [e for e in self._waiting if e.deadline is not None and now >= e.deadline]
         if overdue:
             self._waiting = [e for e in self._waiting if e not in overdue]
             for entry in overdue:
-                self._timed_out += 1
+                self._c_timed_out.inc()
                 self._retire(entry, "timeout")
         for slot, request_id in self.batch.expired(now):
             entry = self._active.get(slot)
@@ -366,13 +419,47 @@ class ContinuousBatchingScheduler:
                 continue
             logger.info("request %s timed out after %d token(s); freeing slot %d",
                         request_id, len(entry.tokens), slot)
-            self._timed_out += 1
+            self._c_timed_out.inc()
             self._retire(entry, "timeout")
 
     # ------------------------------------------------------------------- stats
+    def _collect_gauges(self) -> None:
+        """Mirror externally-owned state into registry gauges (collector hook)."""
+        reg = self.registry
+        reg.gauge("serving_queue_depth").set(len(self._waiting))
+        reg.gauge("serving_active_requests").set(len(self._active))
+        reg.gauge("serving_batch_occupancy").set(self.batch.occupancy / self.batch.max_batch_size)
+        reg.gauge("prefix_cache_enabled").set(1 if self.prefix_cache is not None else 0)
+        reg.gauge("prefill_tokens_total").set(self.batch.prefill_tokens_total)
+        reg.gauge("prefill_tokens_forwarded").set(self.batch.prefill_tokens_forwarded)
+        reg.gauge("prefill_tokens_saved").set(
+            self.batch.prefill_tokens_total - self.batch.prefill_tokens_forwarded
+        )
+        if self.prefix_cache is not None:
+            cache = self.prefix_cache.stats()
+            reg.gauge("prefix_cache_bytes").set(cache["bytes"])
+            reg.gauge("prefix_cache_lookups").set(cache["lookups"])
+            reg.gauge("prefix_cache_hits").set(cache["hits"])
+            reg.gauge("prefix_cache_misses").set(cache["misses"])
+            reg.gauge("prefix_cache_hit_tokens").set(cache["hit_tokens"])
+        backend = resolve_backend(self.session.backend)
+        cache_stats = getattr(backend, "cache_stats", None)
+        if callable(cache_stats):
+            plan = cache_stats()
+            labels = {"backend": backend.name}
+            reg.gauge("backend_gather_calls", labels=labels).set(plan["gather_calls"])
+            reg.gauge("backend_dense_calls", labels=labels).set(plan["dense_calls"])
+            reg.gauge("backend_plan_cache_hits", labels=labels).set(plan["plan_hits"])
+            reg.gauge("backend_plan_cache_misses", labels=labels).set(plan["misses"])
+            reg.gauge("backend_plan_cache_promotions", labels=labels).set(plan["promotions"])
+
     def stats(self) -> Dict[str, object]:
         """Live scheduler metrics (the server's ``/stats`` payload)."""
-        busy = self._busy_seconds
+        admit_seconds = self._c_admit_seconds.value
+        step_seconds = self._c_step_seconds.value
+        busy = admit_seconds + step_seconds
+        steps = int(self._c_steps.value)
+        tokens = int(self._c_tokens.value)
         prefix: Dict[str, object] = {"enabled": self.prefix_cache is not None}
         if self.prefix_cache is not None:
             prefix.update(self.prefix_cache.stats())
@@ -381,25 +468,32 @@ class ContinuousBatchingScheduler:
         prefix["prefill_tokens_saved"] = (
             self.batch.prefill_tokens_total - self.batch.prefill_tokens_forwarded
         )
-        return {
+        backend = resolve_backend(self.session.backend)
+        payload: Dict[str, object] = {
             "queue_depth": len(self._waiting),
             "active_requests": len(self._active),
             "max_batch_size": self.batch.max_batch_size,
             "batch_occupancy": self.batch.occupancy / self.batch.max_batch_size,
-            "mean_step_batch": (self._step_slots / self._steps) if self._steps else 0.0,
-            "requests_submitted": self._submitted,
-            "requests_completed": self._completed,
-            "requests_failed": self._failed,
-            "requests_timed_out": self._timed_out,
-            "requests_cancelled": self._cancelled,
-            "tokens_generated": self._tokens_generated,
-            "decode_steps": self._steps,
+            "mean_step_batch": (self._c_step_slots.value / steps) if steps else 0.0,
+            "requests_submitted": int(self._c_submitted.value),
+            "requests_completed": int(self._c_completed.value),
+            "requests_failed": int(self._c_failed.value),
+            "requests_timed_out": int(self._c_timed_out.value),
+            "requests_cancelled": int(self._c_cancelled.value),
+            "tokens_generated": tokens,
+            "decode_steps": steps,
+            "admit_seconds": admit_seconds,
+            "step_seconds": step_seconds,
             "busy_seconds": busy,
-            "tokens_per_second": (self._tokens_generated / busy) if busy > 0 else 0.0,
+            "tokens_per_second": (tokens / busy) if busy > 0 else 0.0,
             "sequential_method": self._sequential_method,
-            "backend": resolve_backend(self.session.backend).name,
+            "backend": backend.name,
             "prefix_cache": prefix,
         }
+        cache_stats = getattr(backend, "cache_stats", None)
+        if callable(cache_stats):
+            payload["backend_cache"] = cache_stats()
+        return payload
 
     # -------------------------------------------------------------- decode loop
     def _take_admissible(self, n_free: int) -> List[_Entry]:
@@ -414,16 +508,23 @@ class ContinuousBatchingScheduler:
         entry.tokens.append(token)
         entry.last_token = token
         entry.stream.put_nowait(token)
-        self._tokens_generated += 1
+        self._c_tokens.inc()
+        if entry.trace is not None:
+            entry.trace.mark_token()
+            times = entry.trace.token_times
+            if len(times) == 1:
+                self._h_ttft.observe(times[0] - entry.trace.created_s)
+            else:
+                self._h_itl.observe(times[-1] - times[-2])
         if entry.remaining <= 0:
-            self._completed += 1
+            self._c_completed.inc()
             self._retire(entry, "length")
 
     def _fail_entries(self, entries: List[_Entry], error: BaseException) -> None:
         """Retire entries with an error so their awaiters never hang."""
         for entry in entries:
             entry.error = error
-            self._failed += 1
+            self._c_failed.inc()
             self._retire(entry, "error")
 
     def _admit(self) -> None:
@@ -433,7 +534,10 @@ class ContinuousBatchingScheduler:
         entries = self._take_admissible(n_free)
         if self._sequential_method:
             self.session.method.reset()
-        now = time.perf_counter()
+        now = monotonic()
+        for entry in entries:
+            if entry.trace is not None:
+                entry.trace.mark_admitted(now)
         try:
             slots, logits = self.batch.admit(
                 [e.request.prompt_array() for e in entries],
@@ -445,10 +549,17 @@ class ContinuousBatchingScheduler:
             logger.exception("admission failed; failing %d request(s)", len(entries))
             self._fail_entries(entries, exc)
             return
+        prefilled = monotonic()
         for row, (entry, slot) in enumerate(zip(entries, slots)):
             entry.slot = slot
             entry.started_at = now
             self._active[slot] = entry
+            if entry.trace is not None:
+                prompt_tokens, forwarded = self.batch.slot_prefill.get(
+                    slot, (len(entry.request.prompt), len(entry.request.prompt))
+                )
+                entry.trace.mark_prefilled(prompt_tokens, forwarded, now=prefilled)
+                self._h_queue.observe(now - entry.submitted_at)
             self._emit(entry, logits[row])
 
     def _step(self) -> None:
@@ -463,8 +574,8 @@ class ContinuousBatchingScheduler:
             logger.exception("decode step failed; failing %d active request(s)", len(slots))
             self._fail_entries([self._active[s] for s in slots], exc)
             return
-        self._steps += 1
-        self._step_slots += len(slots)
+        self._c_steps.inc()
+        self._c_step_slots.inc(len(slots))
         for row, slot in enumerate(slots):
             self._emit(self._active[slot], logits[row])
 
@@ -480,15 +591,20 @@ class ContinuousBatchingScheduler:
                 self._wake.clear()
                 await self._wake.wait()
                 continue
-            started = time.perf_counter()
+            # Expiry sweeps run *outside* the busy window: retiring overdue
+            # queued requests is bookkeeping, not decode work, and must never
+            # deflate tokens_per_second.
             self._expire_deadlines()
             # The decode loop is deliberately lock-step: one numpy forward per
             # iteration on the loop thread, with an await-point between steps.
             # Offloading each step would add an executor hop per token and
             # serialise against the session pool anyway.
+            admit_started = monotonic()
             self._admit()  # reprolint: disable=RL001 -- deliberate lock-step admission into the decode batch
+            step_started = monotonic()
+            self._c_admit_seconds.inc(step_started - admit_started)
             self._step()  # reprolint: disable=RL001 -- deliberate lock-step decode step; yields via sleep(0) below
-            self._busy_seconds += time.perf_counter() - started
+            self._c_step_seconds.inc(monotonic() - step_started)
             # Yield so clients can consume streams and new submissions land.
             await asyncio.sleep(0)
-        logger.info("scheduler stopped: %d requests served", self._completed)
+        logger.info("scheduler stopped: %d requests served", int(self._c_completed.value))

@@ -13,6 +13,10 @@ matching the repo's no-new-dependencies rule) exposing
   pool worker (in a thread, so decoding keeps running).
 * ``GET /stats`` — scheduler + session-pool metrics (queue depth, batch
   occupancy, tokens/sec).
+* ``GET /metrics`` — the scheduler's
+  :class:`~repro.obs.metrics.MetricsRegistry` in Prometheus text exposition
+  format (scrape-ready); ``GET /metrics?format=json`` returns the structured
+  snapshot instead.
 
 Construction wires the pieces together: one :class:`SessionPool` sharing the
 base session's calibration, one scheduler worker, and ``pool_size`` workers
@@ -24,8 +28,10 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs import MetricsRegistry, TraceSink
 from repro.pipeline.session import SparseSession
 from repro.pipeline.spec import SpecError
 from repro.serving.pool import SessionPool
@@ -50,8 +56,10 @@ _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method No
                 413: "Payload Too Large", 500: "Internal Server Error"}
 
 
-async def _read_request(reader: asyncio.StreamReader) -> Tuple[str, str, Dict[str, str], bytes]:
-    """Parse one HTTP/1.1 request: (method, path, headers, body)."""
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: (method, path, query, headers, body)."""
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except asyncio.IncompleteReadError as exc:
@@ -75,7 +83,9 @@ async def _read_request(reader: asyncio.StreamReader) -> Tuple[str, str, Dict[st
     if length > _MAX_BODY_BYTES:
         raise _HTTPError(413, "body too large")
     body = await reader.readexactly(length) if length else b""
-    return method, path.split("?", 1)[0], headers, body
+    path, _, query_string = path.partition("?")
+    query = dict(urllib.parse.parse_qsl(query_string))
+    return method, path, query, headers, body
 
 
 def _response_head(status: int, content_type: str, extra: str = "") -> bytes:
@@ -106,11 +116,15 @@ class ServingServer:
         port: int = 0,
         config: Optional[SchedulerConfig] = None,
         pool_size: int = 2,
+        registry: Optional[MetricsRegistry] = None,
+        trace_sink: Optional[TraceSink] = None,
     ) -> None:
         # The pool calibrates the base session once; the scheduler gets its
         # own calibration-sharing worker so /experiment never borrows it.
         self.pool = SessionPool(session, size=pool_size)
-        self.scheduler = ContinuousBatchingScheduler(session.share_calibration(), config)
+        self.scheduler = ContinuousBatchingScheduler(
+            session.share_calibration(), config, registry=registry, trace_sink=trace_sink
+        )
         self.host = host
         self.port = port
         self._server: Optional[asyncio.Server] = None
@@ -143,17 +157,22 @@ class ServingServer:
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
             try:
-                method, path, _headers, body = await _read_request(reader)
+                method, path, query, _headers, body = await _read_request(reader)
                 if (method, path) == ("POST", "/generate"):
                     await self._handle_generate(writer, body)
                 elif (method, path) == ("POST", "/experiment"):
                     await self._handle_experiment(writer, body)
                 elif (method, path) == ("GET", "/stats"):
                     _json_response(writer, 200, self.stats())
-                elif path in ("/generate", "/experiment", "/stats"):
+                elif (method, path) == ("GET", "/metrics"):
+                    self._handle_metrics(writer, query)
+                elif path in ("/generate", "/experiment", "/stats", "/metrics"):
                     raise _HTTPError(405, f"{method} not allowed on {path}")
                 else:
-                    raise _HTTPError(404, f"unknown path {path!r}; use /generate, /experiment, /stats")
+                    raise _HTTPError(
+                        404,
+                        f"unknown path {path!r}; use /generate, /experiment, /stats, /metrics",
+                    )
             except _HTTPError as exc:
                 _json_response(writer, exc.status, {"error": exc.message})
             except (RequestError, SpecError) as exc:
@@ -227,6 +246,19 @@ class ServingServer:
 
         result = await asyncio.get_running_loop().run_in_executor(None, run)
         _json_response(writer, 200, result)
+
+    def _handle_metrics(self, writer: asyncio.StreamWriter, query: Dict[str, str]) -> None:
+        fmt = query.get("format", "prometheus")
+        if fmt == "json":
+            _json_response(writer, 200, self.scheduler.registry.snapshot())
+            return
+        if fmt != "prometheus":
+            raise _HTTPError(400, f"unknown metrics format {fmt!r}; use 'prometheus' or 'json'")
+        body = self.scheduler.registry.render_prometheus().encode()
+        writer.write(_response_head(
+            200, "text/plain; version=0.0.4; charset=utf-8", f"Content-Length: {len(body)}\r\n"
+        ))
+        writer.write(body)
 
     def stats(self) -> Dict[str, Any]:
         return {"scheduler": self.scheduler.stats(), "pool": self.pool.stats()}

@@ -1,0 +1,233 @@
+"""Trace-driven workload generation for serving benchmarks.
+
+A :class:`WorkloadSpec` describes a synthetic request trace the way serving
+papers do: an arrival process (Poisson, or bursts of coordinated arrivals),
+heavy-tailed (log-normal) prompt and decode lengths, and a fleet of tenants
+whose requests share a fixed prompt head (the "system prompt" pattern the
+prefix cache exists for).  :func:`generate_workload` expands a spec into a
+deterministic list of timestamped :class:`WorkloadRequest`\\ s — same spec,
+same trace, on every machine — and :func:`replay_workload` plays the trace
+against a live :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`,
+honouring arrival times.
+
+``benchmarks/bench_latency_slo.py`` replays these traces to measure
+p50/p95/p99 TTFT and inter-token latency and goodput under a deadline; specs
+round-trip through JSON so a benchmark run can pin its workload to a file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import monotonic, quantile
+from repro.serving.requests import GenerationRequest, GenerationResult, _from_mapping
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.utils.rng import new_rng
+
+#: Supported arrival processes: independent exponential gaps, or coordinated
+#: bursts of ``burst_size`` simultaneous arrivals (same mean rate).
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a synthetic serving workload.
+
+    Lengths are drawn log-normally — ``exp(Normal(log(mean), sigma))`` —
+    rounded and clipped to ``[1, max]``, giving the heavy right tail real
+    prompt/completion length distributions show.  Each of ``tenants`` tenants
+    owns a fixed random prompt head of ``shared_prefix_len`` tokens that every
+    one of its requests starts with (0 disables prefix sharing); requests are
+    assigned to tenants uniformly at random.  Everything is driven by one
+    seeded RNG, so a spec expands to the identical trace everywhere.
+    """
+
+    name: str = "workload"
+    seed: int = 0
+    n_requests: int = 32
+    #: Arrival process (see :data:`ARRIVAL_PROCESSES`).
+    arrival: str = "poisson"
+    #: Mean arrival rate, requests per second (both processes).
+    rate_per_s: float = 64.0
+    #: Requests arriving simultaneously per burst (``arrival="bursty"``).
+    burst_size: int = 8
+    prompt_len_mean: float = 12.0
+    prompt_len_sigma: float = 0.6
+    prompt_len_max: int = 48
+    decode_len_mean: float = 8.0
+    decode_len_sigma: float = 0.6
+    decode_len_max: int = 32
+    #: Token ids are drawn uniformly from ``[0, vocab_size)``.
+    vocab_size: int = 256
+    tenants: int = 4
+    shared_prefix_len: int = 8
+    temperature: float = 0.0
+    #: Per-request deadline forwarded to ``GenerationRequest.timeout_s``.
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(f"unknown arrival process '{self.arrival}'; use {ARRIVAL_PROCESSES}")
+        if self.n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if self.prompt_len_mean < 1 or self.decode_len_mean < 1:
+            raise ValueError("prompt_len_mean and decode_len_mean must be >= 1")
+        if self.prompt_len_sigma < 0 or self.decode_len_sigma < 0:
+            raise ValueError("length sigmas must be non-negative")
+        if self.prompt_len_max < 1 or self.decode_len_max < 1:
+            raise ValueError("prompt_len_max and decode_len_max must be >= 1")
+        if self.vocab_size <= 0:
+            raise ValueError("vocab_size must be positive")
+        if self.tenants <= 0:
+            raise ValueError("tenants must be positive")
+        if self.shared_prefix_len < 0:
+            raise ValueError("shared_prefix_len must be non-negative (0 disables sharing)")
+        if self.shared_prefix_len >= self.prompt_len_max:
+            raise ValueError("shared_prefix_len must leave room below prompt_len_max")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or null for no deadline)")
+
+    # ------------------------------------------------------------- round trip
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return _from_mapping(cls, data, "workload spec")
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadRequest:
+    """One timestamped entry of an expanded workload trace."""
+
+    #: Arrival offset in seconds from the start of the replay.
+    arrival_s: float
+    #: Tenant index in ``[0, spec.tenants)`` (whose shared head the prompt uses).
+    tenant: int
+    request: GenerationRequest
+
+
+def _lognormal_length(mean: float, sigma: float, maximum: int, draw: float) -> int:
+    """Clip a standard-normal ``draw`` through a log-normal onto ``[1, maximum]``."""
+    value = math.exp(math.log(mean) + sigma * draw)
+    return max(1, min(maximum, round(value)))
+
+
+def generate_workload(spec: WorkloadSpec) -> List[WorkloadRequest]:
+    """Expand a :class:`WorkloadSpec` into its deterministic request trace."""
+    rng = new_rng(spec.seed)
+    prefixes: List[Tuple[int, ...]] = [
+        tuple(int(t) for t in rng.integers(0, spec.vocab_size, size=spec.shared_prefix_len))
+        for _ in range(spec.tenants)
+    ]
+    trace: List[WorkloadRequest] = []
+    clock = 0.0
+    for index in range(spec.n_requests):
+        if spec.arrival == "poisson":
+            clock += float(rng.exponential(1.0 / spec.rate_per_s))
+        elif index % spec.burst_size == 0 and index > 0:
+            # Bursty: whole bursts arrive together, gaps keep the mean rate.
+            clock += float(rng.exponential(spec.burst_size / spec.rate_per_s))
+        tenant = int(rng.integers(0, spec.tenants))
+        prompt_len = _lognormal_length(
+            spec.prompt_len_mean, spec.prompt_len_sigma, spec.prompt_len_max,
+            float(rng.standard_normal()),
+        )
+        decode_len = _lognormal_length(
+            spec.decode_len_mean, spec.decode_len_sigma, spec.decode_len_max,
+            float(rng.standard_normal()),
+        )
+        head = prefixes[tenant]
+        tail_len = max(1, prompt_len - len(head))
+        tail = tuple(int(t) for t in rng.integers(0, spec.vocab_size, size=tail_len))
+        trace.append(
+            WorkloadRequest(
+                arrival_s=clock,
+                tenant=tenant,
+                request=GenerationRequest(
+                    prompt=head + tail,
+                    max_new_tokens=decode_len,
+                    temperature=spec.temperature,
+                    request_id=f"{spec.name}-{index:04d}",
+                    seed=spec.seed * 100003 + index,
+                    timeout_s=spec.timeout_s,
+                ),
+            )
+        )
+    return trace
+
+
+async def replay_workload(
+    scheduler: ContinuousBatchingScheduler,
+    trace: Sequence[WorkloadRequest],
+    *,
+    time_scale: float = 1.0,
+) -> List[Optional[GenerationResult]]:
+    """Replay a trace against a running scheduler, honouring arrival times.
+
+    Each request is submitted ``arrival_s * time_scale`` seconds after the
+    replay starts (``time_scale < 1`` compresses the trace for smoke runs).
+    Results come back in trace order; an entry is ``None`` when that request
+    failed server-side (its decode step raised) — deadline-expired requests
+    are *results* (``finish_reason="timeout"``), not failures.
+    """
+    start = monotonic()
+    results: List[Optional[GenerationResult]] = [None] * len(trace)
+
+    async def _replay_one(index: int, item: WorkloadRequest) -> None:
+        delay = item.arrival_s * time_scale - (monotonic() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            results[index] = await scheduler.submit(item.request)
+        except RuntimeError:
+            results[index] = None
+
+    await asyncio.gather(*(_replay_one(i, item) for i, item in enumerate(trace)))
+    return results
+
+
+def summarize_results(results: Sequence[Optional[GenerationResult]]) -> Dict[str, float]:
+    """Latency percentiles of a replayed trace (requires traced results).
+
+    Operates on ``GenerationResult.timings`` (so the scheduler must run with
+    ``trace_requests=True``); ``None`` entries and untraced results are
+    skipped.  Inter-token latency is each request's mean decode gap —
+    ``decode_s / (tokens - 1)`` — aggregated across requests.
+    """
+    ttft: List[float] = []
+    queue: List[float] = []
+    total: List[float] = []
+    intertoken: List[float] = []
+    completed = 0
+    for result in results:
+        if result is None or result.timings is None:
+            continue
+        completed += 1
+        timings = result.timings
+        ttft.append(timings["ttft_s"])
+        queue.append(timings["queue_s"])
+        total.append(timings["total_s"])
+        if result.n_generated > 1 and timings["decode_s"] > 0:
+            intertoken.append(timings["decode_s"] / (result.n_generated - 1))
+    summary: Dict[str, float] = {"n_results": float(completed)}
+    for label, values in (("ttft", ttft), ("queue", queue),
+                          ("total", total), ("intertoken", intertoken)):
+        for q_label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            summary[f"{label}_{q_label}_s"] = quantile(values, q) if values else 0.0
+    return summary

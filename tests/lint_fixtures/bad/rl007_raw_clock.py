@@ -1,0 +1,10 @@
+"""BAD: raw monotonic-clock bookkeeping instead of repro.obs.monotonic."""
+
+import time
+from time import perf_counter
+
+
+def timed_step() -> float:
+    started = time.perf_counter()  # hand-rolled timing the obs layer replaced
+    _ = perf_counter()  # bare import of the same clock
+    return started

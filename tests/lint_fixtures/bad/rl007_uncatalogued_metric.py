@@ -1,0 +1,10 @@
+"""BAD: a metric name outside METRIC_CATALOG, and a computed metric name."""
+
+from repro.obs import MetricsRegistry
+
+
+def record_request(registry: MetricsRegistry, tenant: str) -> None:
+    # Not a key of METRIC_CATALOG: invisible to /metrics help and the docs.
+    registry.counter("serving_adhoc_total").inc()
+    # Computed name: forks the timeseries namespace per tenant value.
+    registry.counter(f"serving_requests_{tenant}_total").inc()

@@ -1,0 +1,9 @@
+"""OK: literal catalogued metric names, durations on the obs clock."""
+
+from repro.obs import MetricsRegistry, monotonic
+
+
+def record_request(registry: MetricsRegistry) -> None:
+    started = monotonic()
+    registry.counter("serving_requests_submitted_total").inc()
+    registry.histogram("serving_queue_seconds").observe(monotonic() - started)

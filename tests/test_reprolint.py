@@ -36,6 +36,7 @@ DESTINATIONS = {
     "rl004_trajectory": "benchmarks/check_trajectory.py",
     "rl005": "src/repro/hwsim/{stem}.py",
     "rl006": "src/repro/nn/{stem}.py",
+    "rl007": "src/repro/serving/{stem}.py",
 }
 
 #: docs/API.md content the RL004 spec fixtures are checked against.
@@ -43,6 +44,14 @@ FIXTURE_DOCS = "# API\n\nThe model section has `name` and `seed`.\n"
 
 #: Baseline record the RL004 trajectory fixtures are checked against.
 FIXTURE_BENCH = {"methods": {"dip": {"speedup": 2.0, "wall_s": 1.25}}}
+
+#: METRIC_CATALOG the RL007 fixtures are checked against.
+FIXTURE_CATALOG = (
+    "METRIC_CATALOG = {\n"
+    '    "serving_requests_submitted_total": "requests accepted",\n'
+    '    "serving_queue_seconds": "per-request queue wait",\n'
+    "}\n"
+)
 
 
 def _destination(fixture: Path) -> str:
@@ -61,6 +70,10 @@ def _place(root: Path, fixture: Path) -> None:
         (root / "docs" / "API.md").write_text(FIXTURE_DOCS)
     if fixture.stem.startswith("rl004_trajectory"):
         (root / "BENCH_fixture.json").write_text(json.dumps(FIXTURE_BENCH))
+    if fixture.stem.startswith("rl007"):
+        catalog = root / "src" / "repro" / "obs" / "catalog.py"
+        catalog.parent.mkdir(parents=True, exist_ok=True)
+        catalog.write_text(FIXTURE_CATALOG)
 
 
 def _lint(root: Path, select=None):
@@ -78,9 +91,9 @@ BAD = sorted(FIXTURES.glob("bad/*.py"))
 
 def test_fixture_inventory():
     """One good and at least two bad failing cases per rule."""
-    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005", "rl006"):
+    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005", "rl006", "rl007"):
         assert any(f.stem.startswith(rule) for f in GOOD), rule
-    assert len(BAD) >= 12  # >= 2 failing cases per rule across the bad files
+    assert len(BAD) >= 14  # >= 2 failing cases per rule across the bad files
 
 
 @pytest.mark.parametrize("fixture", GOOD, ids=lambda p: p.stem)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import re
 import socket
 import struct
 import threading
@@ -835,3 +836,185 @@ class TestServerLifecycle:
         else:
             pytest.fail(f"server never cancelled the dropped stream: {stats}")
         assert stats["tokens_generated"] < 60  # decode stopped early
+
+
+# ---------------------------------------------------------------------------
+# Observability: /metrics, traces, busy-time accounting
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def _get(self, server, path):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read().decode()
+        content_type = response.getheader("Content-Type")
+        conn.close()
+        return response.status, content_type, body
+
+    @pytest.fixture()
+    def server(self, tiny_session):
+        config = SchedulerConfig(max_batch_size=4, max_seq_len=64)
+        with BackgroundServer(tiny_session, config=config, pool_size=1) as background:
+            yield background.server
+
+    def test_metrics_endpoint_prometheus_and_json(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        payload = {"prompt": [1, 2, 3], "max_new_tokens": 3, "stream": False}
+        conn.request("POST", "/generate", json.dumps(payload), {"Content-Type": "application/json"})
+        conn.getresponse().read()
+        conn.close()
+
+        status, content_type, body = self._get(server, "/metrics")
+        assert status == 200 and content_type.startswith("text/plain")
+        assert "# TYPE serving_ttft_seconds histogram" in body
+        assert re.search(r"serving_tokens_generated_total 3(\.0)?$", body, re.M)
+        for line in body.splitlines():  # every sample line is exposition-format
+            if line and not line.startswith("#"):
+                assert re.match(r'^[a-z_0-9]+(\{[^}]*\})? \S+$', line), line
+
+        status, content_type, body = self._get(server, "/metrics?format=json")
+        assert status == 200 and content_type.startswith("application/json")
+        snapshot = json.loads(body)
+        assert snapshot["serving_requests_completed_total"]["samples"][0]["value"] == 1
+        assert snapshot["serving_queue_depth"]["type"] == "gauge"
+        (ttft,) = snapshot["serving_ttft_seconds"]["samples"]
+        assert ttft["count"] == 1 and ttft["p50"] > 0
+
+        status, _, body = self._get(server, "/metrics?format=bogus")
+        assert status == 400 and "unknown metrics format" in body
+        status, _, _ = self._get(server, "/nope")
+        assert status == 404
+
+    def test_generation_result_carries_timings(self, tiny_session):
+        async def serve():
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                return await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=4))
+
+        result = self._run(serve())
+        timings = result.timings
+        assert timings is not None
+        assert set(timings) == {"queue_s", "prefill_s", "ttft_s", "decode_s",
+                                "decode_tokens_per_s", "total_s"}
+        assert 0 <= timings["queue_s"] <= timings["ttft_s"] <= timings["total_s"]
+        assert timings["decode_tokens_per_s"] > 0  # 4 tokens decoded
+        assert GenerationResult.from_json(result.to_json()) == result  # round-trips
+
+    def test_tracing_off_means_no_timings(self, tiny_session):
+        async def serve():
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64, trace_requests=False)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                return await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=4))
+
+        assert self._run(serve()).timings is None
+
+    def test_greedy_parity_tracing_on_vs_off(self, tiny_session, ragged_prompts, rng):
+        budgets = [int(b) for b in rng.integers(1, 7, size=len(ragged_prompts))]
+
+        async def serve(traced):
+            config = SchedulerConfig(max_batch_size=4, max_seq_len=64, trace_requests=traced)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                return await asyncio.gather(*[
+                    sched.submit(GenerationRequest(prompt=tuple(int(t) for t in p), max_new_tokens=b))
+                    for p, b in zip(ragged_prompts, budgets)
+                ])
+
+        traced, untraced = self._run(serve(True)), self._run(serve(False))
+        assert [r.tokens for r in traced] == [r.tokens for r in untraced]
+
+    def test_trace_sink_records_every_request(self, tiny_session, tmp_path):
+        from repro.obs import TraceSink
+
+        path = tmp_path / "traces.ndjson"
+
+        async def serve(sink):
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64)
+            async with ContinuousBatchingScheduler(
+                tiny_session.share_calibration(), config, trace_sink=sink
+            ) as sched:
+                await asyncio.gather(*[
+                    sched.submit(GenerationRequest(prompt=(1 + i, 2, 3), max_new_tokens=2))
+                    for i in range(3)
+                ])
+
+        with TraceSink(path) as sink:
+            self._run(serve(sink))
+            assert sink.written == 3
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(entries) == 3
+        for entry in entries:
+            assert entry["finish_reason"] == "length"
+            assert [s["name"] for s in entry["spans"]] == ["queued", "prefill", "decode"]
+            assert entry["timings"]["ttft_s"] > 0
+
+    def test_idle_gap_does_not_deflate_tokens_per_second(self, tiny_session):
+        """Busy time covers only admit/decode forwards, never idle waiting."""
+        async def serve():
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=4))
+                await asyncio.sleep(0.3)  # an idle gap between request bursts
+                await sched.submit(GenerationRequest(prompt=(4, 5, 6), max_new_tokens=4))
+                return sched.stats()
+
+        stats = self._run(serve())
+        assert stats["busy_seconds"] < 0.25  # the 0.3s gap is not busy time
+        assert stats["busy_seconds"] == pytest.approx(
+            stats["admit_seconds"] + stats["step_seconds"]
+        )
+        # Throughput over busy time stays decode-speed-sized instead of being
+        # washed out to ~8/0.3 by the idle gap.
+        assert stats["tokens_per_second"] > stats["tokens_generated"] / 0.3
+
+    def test_expiry_sweeps_are_not_busy_time(self, tiny_session):
+        """A slow deadline sweep over a deep queue must not count as decode."""
+        async def serve():
+            config = SchedulerConfig(max_batch_size=1, max_seq_len=64)
+            async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
+                original = sched.batch.expired
+
+                def slow_expired(now):
+                    time.sleep(0.02)  # simulate an expensive expiry sweep
+                    return original(now)
+
+                sched.batch.expired = slow_expired
+                result = await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=8))
+                return result, sched.stats()
+
+        result, stats = self._run(serve())
+        assert result.n_generated == 8
+        # >= 8 loop iterations x 20ms of sweeping ran on the loop; none of it
+        # may appear in the admit/step windows.
+        assert stats["busy_seconds"] < 0.12
+        assert stats["tokens_per_second"] > stats["tokens_generated"] / 0.16
+
+    def test_gather_backend_cache_stats_in_stats_and_metrics(
+        self, trained_tiny_model, calibration_sequences, eval_sequences
+    ):
+        session = SparseSession(
+            trained_tiny_model, "dip",
+            calibration_sequences=calibration_sequences,
+            eval_sequences=eval_sequences,
+            model_name="tiny", backend="gather",
+        )
+
+        async def serve():
+            config = SchedulerConfig(max_batch_size=2, max_seq_len=64)
+            async with ContinuousBatchingScheduler(session.share_calibration(), config) as sched:
+                await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=4))
+                return sched.stats(), sched.registry.snapshot()
+
+        stats, snapshot = self._run(serve())
+        assert stats["backend"] == "gather"
+        cache = stats["backend_cache"]
+        assert set(cache) == {"gather_calls", "dense_calls", "plan_hits",
+                              "misses", "promotions", "cached_plans"}
+        assert cache["gather_calls"] + cache["dense_calls"] > 0
+        (sample,) = snapshot["backend_gather_calls"]["samples"]
+        assert sample["labels"] == {"backend": "gather"}
+        assert sample["value"] == cache["gather_calls"]

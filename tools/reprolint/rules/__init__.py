@@ -11,6 +11,7 @@ from tools.reprolint.rules.rl003_registry_contract import RegistryContractRule
 from tools.reprolint.rules.rl004_spec_docs_sync import SpecDocsSyncRule
 from tools.reprolint.rules.rl005_hwsim_literals import HwsimLiteralRule
 from tools.reprolint.rules.rl006_backend_seam import BackendSeamRule
+from tools.reprolint.rules.rl007_metrics_catalog import MetricsCatalogRule
 
 ALL_RULES: List[Rule] = [
     AsyncBlockingRule(),
@@ -19,6 +20,7 @@ ALL_RULES: List[Rule] = [
     SpecDocsSyncRule(),
     HwsimLiteralRule(),
     BackendSeamRule(),
+    MetricsCatalogRule(),
 ]
 
 KNOWN_RULE_IDS = [rule.id for rule in ALL_RULES]

@@ -1,0 +1,187 @@
+"""RL007 — serving metrics stay in the catalog, on the one obs clock.
+
+Two observability contracts:
+
+1. **Metric names ↔ catalog.**  Every metric a serving/obs module creates
+   through a registry — ``.counter("...")`` / ``.gauge("...")`` /
+   ``.histogram("...")`` — must use a *string-literal* name that is a key of
+   ``METRIC_CATALOG`` in ``src/repro/obs/catalog.py``.  Ad-hoc names never
+   make it into the ``/metrics`` help text or the docs table, and computed
+   names silently fork the timeseries namespace per label value.
+
+2. **One clock.**  Serving code measures every duration on
+   :func:`repro.obs.monotonic`.  Raw monotonic-clock bookkeeping —
+   ``time.perf_counter()``, ``time.monotonic()``, and friends — inside
+   ``repro.serving`` brings back exactly the hand-rolled timing this layer
+   replaced, and timestamps from mixed clock calls cannot be compared.
+   (``time.time()`` stays allowed: wall-clock arrival stamping is not a
+   duration measurement.)
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterable, List, Optional, Set
+
+from tools.reprolint.core import Finding, Project, Rule, SourceFile
+
+CATALOG_REL = "src/repro/obs/catalog.py"
+
+#: Registry factory methods whose first argument is a metric name.
+REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+#: ``time`` module functions that read a monotonic/CPU clock — serving code
+#: must route these through ``repro.obs.monotonic`` instead.
+MONOTONIC_CLOCKS = frozenset({
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+})
+
+#: Files where the clock check applies (the catalog check covers obs too).
+CLOCK_SCOPE = ("src/repro/serving/*.py",)
+
+
+def catalog_names(tree: ast.Module) -> Optional[Set[str]]:
+    """String keys of the ``METRIC_CATALOG`` literal dict, or ``None``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        else:
+            continue
+        if "METRIC_CATALOG" not in targets or not isinstance(node.value, ast.Dict):
+            continue
+        names: Set[str] = set()
+        for key in node.value.keys:
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                return None
+            names.add(key.value)
+        return names
+    return None
+
+
+class MetricsCatalogRule(Rule):
+    id = "RL007"
+    name = "metrics-catalog"
+    description = (
+        "registry metric names must be string literals listed in repro.obs METRIC_CATALOG; "
+        "serving code must use repro.obs.monotonic, not raw time.perf_counter bookkeeping"
+    )
+    scope = ("src/repro/serving/*.py", "src/repro/obs/*.py")
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        catalog = self._load_catalog(project)
+        findings: List[Finding] = []
+        for source in project.sources_matching(self.scope):
+            if source.tree is None:
+                continue
+            findings.extend(self._check_metric_names(source, catalog))
+            if any(fnmatch.fnmatch(source.rel, pattern) for pattern in CLOCK_SCOPE):
+                findings.extend(self._check_clock(source))
+        return findings
+
+    def _load_catalog(self, project: Project) -> Optional[Set[str]]:
+        source = project.source(CATALOG_REL)
+        if source is None or source.tree is None:
+            return None
+        return catalog_names(source.tree)
+
+    # -------------------------------------------------------- metric names
+    def _check_metric_names(
+        self, source: SourceFile, catalog: Optional[Set[str]]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for call in self._registry_calls(source.tree):  # type: ignore[arg-type]
+            factory = call.func.attr  # type: ignore[union-attr]
+            if not call.args:
+                continue  # a signature mismatch the type checker owns
+            name_arg = call.args[0]
+            if not (isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str)):
+                findings.append(
+                    Finding(
+                        self.id, source.rel, call.lineno,
+                        f".{factory}(...) metric name is not a string literal, so it "
+                        "cannot be checked against METRIC_CATALOG",
+                        "pass the metric name as a literal from the catalog; put "
+                        "varying dimensions in labels, not the name",
+                    )
+                )
+                continue
+            name = name_arg.value
+            if catalog is None:
+                findings.append(
+                    Finding(
+                        self.id, source.rel, call.lineno,
+                        f"metric '{name}' cannot be verified: {CATALOG_REL} has no "
+                        "literal METRIC_CATALOG dict",
+                        f"keep METRIC_CATALOG in {CATALOG_REL} a plain "
+                        "{name: help} literal",
+                    )
+                )
+            elif name not in catalog:
+                findings.append(
+                    Finding(
+                        self.id, source.rel, call.lineno,
+                        f"metric '{name}' is not listed in METRIC_CATALOG",
+                        f"add '{name}' with help text to {CATALOG_REL} (and the "
+                        "docs/API.md catalog table), or reuse an existing entry",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _registry_calls(tree: ast.Module) -> List[ast.Call]:
+        calls: List[ast.Call] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in REGISTRY_FACTORIES
+            ):
+                calls.append(node)
+        return calls
+
+    # ---------------------------------------------------------------- clock
+    def _check_clock(self, source: SourceFile) -> List[Finding]:
+        time_imports = self._names_imported_from_time(source.tree)  # type: ignore[arg-type]
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):  # type: ignore[arg-type]
+            if not isinstance(node, ast.Call):
+                continue
+            clock = self._monotonic_clock_name(node, time_imports)
+            if clock is None:
+                continue
+            findings.append(
+                Finding(
+                    self.id, source.rel, node.lineno,
+                    f"raw monotonic-clock call time.{clock}() in serving code",
+                    "measure durations with repro.obs.monotonic() so every serving "
+                    "timestamp shares one clock",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _names_imported_from_time(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    @staticmethod
+    def _monotonic_clock_name(call: ast.Call, time_imports: Set[str]) -> Optional[str]:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in MONOTONIC_CLOCKS
+        ):
+            return func.attr
+        if isinstance(func, ast.Name) and func.id in time_imports and func.id in MONOTONIC_CLOCKS:
+            return func.id
+        return None
