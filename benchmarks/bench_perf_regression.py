@@ -13,6 +13,12 @@ tracked across PRs:
   (everyone decodes until the longest request finishes), and the
   continuous-batching ``ContinuousBatch`` core (finished sequences retire and
   queued prompts are admitted into the freed KV-cache slots).
+  The same record carries the **fleet** section: the multi-process scaling
+  curve (1 vs 2 decode workers over the pipe transport,
+  ``fleet.scaling.speedup_vs_one_worker``) and the experiment-isolation probe
+  (decode p95 TTFT idle vs with a concurrent ``/experiment`` job,
+  ``fleet.isolation.ttft_isolation_fraction``); both gates are enforced only
+  on runners with >= 2 CPUs.
 * **Prefix cache** (``BENCH_prefix_cache.json``) — the same continuous batch
   serving 16 ragged requests that share a 64-token system-prompt head, with
   and without a :class:`~repro.nn.prefix_cache.PrefixCache`, for *every*
@@ -36,8 +42,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -46,6 +54,9 @@ import numpy as np
 from repro.engine.inference import ContinuousBatch, SparseInferenceEngine, serve_continuous_greedy
 from repro.nn.model_zoo import build_model, get_model_spec
 from repro.nn.prefix_cache import PrefixCache
+from repro.obs import MetricsRegistry
+from repro.serving import GenerationRequest
+from repro.serving.fleet import FleetConfig, FleetManager, WorkerSpec
 from repro.sparsity.base import DenseBaseline
 from repro.sparsity.dip import DynamicInputPruning
 from repro.sparsity.registry import REGISTRY
@@ -59,6 +70,18 @@ PREFIX_RESULT_PATH = _ROOT / "BENCH_prefix_cache.json"
 #: Continuous batching must beat sequential serving by at least this factor
 #: at 16 concurrent requests (the CI gate).
 SERVING_SPEEDUP_GATE = 1.5
+
+#: A two-decode-worker fleet must beat one worker by at least this factor on
+#: the multi-process scaling curve.  Worker processes only run concurrently
+#: when the machine has cores to put them on, so (like the isolation gate
+#: below) this is enforced only on runners with >= 2 available CPUs; the
+#: numbers are recorded honestly either way.
+FLEET_SCALING_GATE = 1.4
+
+#: Decode p95 TTFT with a concurrent ``/experiment`` job may be at most 1.3x
+#: the idle p95 — recorded as ``ttft_isolation_fraction`` (idle / concurrent,
+#: 1.0 = perfect isolation), so the floor is 1/1.3.
+FLEET_ISOLATION_GATE = 1.0 / 1.3
 
 #: Prefix caching must eliminate at least this fraction of prefill
 #: token-forwards on the shared-system-prompt workload (the CI gate; applies
@@ -207,6 +230,119 @@ def run_serving(
     }
 
 
+def _fleet_config(decode_workers: int, experiment_workers: int = 0) -> FleetConfig:
+    return FleetConfig(
+        worker=WorkerSpec(),  # the default tiny recipe every fleet test shares
+        decode_workers=decode_workers,
+        experiment_workers=experiment_workers,
+        transport="pipe",
+    )
+
+
+def _fleet_throughput(fleet: FleetManager, prompts, max_new_tokens: int) -> float:
+    """Tokens/second for one wave of concurrent requests across the fleet."""
+    start = time.perf_counter()
+    streams = [
+        fleet.submit(GenerationRequest(prompt=tuple(int(t) for t in p),
+                                       max_new_tokens=max_new_tokens))
+        for p in prompts
+    ]
+    tokens = sum(len(stream.result(300).tokens) for stream in streams)
+    return tokens / (time.perf_counter() - start)
+
+
+def run_fleet(n_requests: int = 12, max_new_tokens: int = 12, fast: bool = False) -> dict:
+    """The multi-worker scaling curve plus the experiment-isolation probe.
+
+    * **Scaling** — the same wave of concurrent requests through a pipe-
+      transport fleet of 1 and of 2 decode workers; the ratio of the two
+      throughputs is ``speedup_vs_one_worker``.
+    * **Isolation** — per-request TTFT (as the manager measures it) on a
+      1-decode-worker fleet, first idle, then while the separate experiment
+      worker class grinds ``/experiment`` jobs in a loop.  Experiments run in
+      their own process, so decode TTFT should barely move; the record is
+      ``ttft_isolation_fraction = p95_idle / p95_concurrent``.
+
+    Both gates need real parallelism, so they are enforced only when the
+    runner exposes >= 2 CPUs (``gates_enforced`` in the record).
+    """
+    if fast:
+        n_requests, max_new_tokens = 8, 8
+    cpu_count = len(os.sched_getaffinity(0))
+    spec = get_model_spec(MODEL_NAME)
+    rng = np.random.default_rng(3)
+    prompts = [
+        rng.integers(0, spec.sim_config.vocab_size, size=int(n))
+        for n in rng.integers(4, 13, size=n_requests)
+    ]
+
+    scaling = {}
+    for workers in (1, 2):
+        with FleetManager(_fleet_config(workers), registry=MetricsRegistry()) as fleet:
+            _fleet_throughput(fleet, prompts[:2], max_new_tokens)  # warm the pool
+            throughput = _fleet_throughput(fleet, prompts, max_new_tokens)
+        scaling["one_worker" if workers == 1 else "two_workers"] = {
+            "decode_workers": workers,
+            "tokens_per_second": throughput,
+        }
+    scaling["speedup_vs_one_worker"] = (
+        scaling["two_workers"]["tokens_per_second"] / scaling["one_worker"]["tokens_per_second"]
+    )
+
+    experiment_payload = {
+        "name": "bench-isolation",
+        "model": {"name": MODEL_NAME},
+        "method": {"name": "dip", "target_density": 0.5},
+        "eval": {"max_eval_sequences": 2, "primary_task": None},
+        "hardware": None,
+    }
+
+    def measure_ttfts(fleet: FleetManager) -> list:
+        ttfts = []
+        for prompt in prompts:
+            result = fleet.generate(
+                GenerationRequest(prompt=tuple(int(t) for t in prompt),
+                                  max_new_tokens=max_new_tokens),
+                timeout=300,
+            )
+            ttfts.append(float(result.timings["ttft_s"]))
+        return ttfts
+
+    with FleetManager(_fleet_config(1, experiment_workers=1),
+                      registry=MetricsRegistry()) as fleet:
+        measure_ttfts(fleet)  # warm
+        idle = measure_ttfts(fleet)
+        stop = threading.Event()
+
+        def grind() -> None:
+            while not stop.is_set():
+                fleet.experiment(experiment_payload, timeout=300)
+
+        grinder = threading.Thread(target=grind, daemon=True)
+        grinder.start()
+        try:
+            concurrent = measure_ttfts(fleet)
+        finally:
+            stop.set()
+            grinder.join(300)
+    p95_idle = float(np.percentile(idle, 95))
+    p95_concurrent = float(np.percentile(concurrent, 95))
+
+    return {
+        "cpu_count": int(cpu_count),
+        "gates_enforced": bool(cpu_count >= 2),
+        "n_requests": int(n_requests),
+        "max_new_tokens": int(max_new_tokens),
+        "transport": "pipe",
+        "scaling": scaling,
+        "isolation": {
+            "p95_ttft_idle_s": p95_idle,
+            "p95_ttft_concurrent_s": p95_concurrent,
+            "ttft_isolation_fraction": p95_idle / p95_concurrent,
+        },
+    }
+
+
 def run_prefix_cache(
     n_requests: int = 16,
     shared_prefix: int = 64,
@@ -297,8 +433,10 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero if a perf gate fails (batched < sequential, "
                              f"continuous batching < {SERVING_SPEEDUP_GATE}x sequential serving, "
-                             f"or prefix caching saving < {PREFIX_SAVED_GATE:.0%} of shared-head "
-                             "prefill forwards / breaking parity)")
+                             f"a 2-worker fleet < {FLEET_SCALING_GATE}x one worker or decode TTFT "
+                             "degraded > 1.3x by a concurrent /experiment — both on >= 2-CPU "
+                             f"runners only — or prefix caching saving < {PREFIX_SAVED_GATE:.0%} "
+                             "of shared-head prefill forwards / breaking parity)")
     parser.add_argument("--fast", action="store_true", help="smaller workload for CI smoke runs")
     parser.add_argument("--output", type=Path, default=RESULT_PATH,
                         help=f"where to write the batched-inference record (default: {RESULT_PATH})")
@@ -331,6 +469,7 @@ def main(argv=None) -> int:
     print(f"written to {args.output}")
 
     serving = run_serving(fast=args.fast)
+    serving["fleet"] = fleet = run_fleet(fast=args.fast)
     args.serving_output.write_text(json.dumps(serving, indent=2, sort_keys=True) + "\n")
     print(f"\nserving strategies — {serving['model']} ({serving['n_requests']} concurrent ragged "
           f"requests, {serving['useful_tokens']} tokens, max_batch_size={serving['max_batch_size']})")
@@ -345,6 +484,27 @@ def main(argv=None) -> int:
         ok = False
         print(f"continuous batching speedup {continuous_speedup:.2f}x is below the "
               f"{SERVING_SPEEDUP_GATE}x gate", file=sys.stderr)
+
+    scaling_speedup = fleet["scaling"]["speedup_vs_one_worker"]
+    isolation = fleet["isolation"]["ttft_isolation_fraction"]
+    gates = "enforced" if fleet["gates_enforced"] else f"not enforced ({fleet['cpu_count']} CPU)"
+    print(f"\nfleet — pipe transport, {fleet['n_requests']} concurrent requests (gates {gates})")
+    print(f"  1 worker   {fleet['scaling']['one_worker']['tokens_per_second']:8.1f} tok/s")
+    print(f"  2 workers  {fleet['scaling']['two_workers']['tokens_per_second']:8.1f} tok/s   "
+          f"speedup {scaling_speedup:.2f}x")
+    print(f"  p95 TTFT idle {fleet['isolation']['p95_ttft_idle_s']*1e3:6.1f} ms   "
+          f"with /experiment {fleet['isolation']['p95_ttft_concurrent_s']*1e3:6.1f} ms   "
+          f"isolation {isolation:.2f}")
+    if fleet["gates_enforced"]:
+        if scaling_speedup < FLEET_SCALING_GATE:
+            ok = False
+            print(f"fleet scaling speedup {scaling_speedup:.2f}x is below the "
+                  f"{FLEET_SCALING_GATE}x gate", file=sys.stderr)
+        if isolation < FLEET_ISOLATION_GATE:
+            ok = False
+            print(f"fleet TTFT isolation {isolation:.2f} is below the "
+                  f"{FLEET_ISOLATION_GATE:.2f} gate (concurrent /experiment slows decode "
+                  "by more than 1.3x)", file=sys.stderr)
 
     prefix = run_prefix_cache(fast=args.fast)
     args.prefix_output.write_text(json.dumps(prefix, indent=2, sort_keys=True) + "\n")

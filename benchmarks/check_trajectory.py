@@ -40,6 +40,8 @@ TRACKED_METRICS = {
         "methods.dip.speedup": "higher",
     },
     "BENCH_serving.json": {
+        "fleet.isolation.ttft_isolation_fraction": "higher",
+        "fleet.scaling.speedup_vs_one_worker": "higher",
         "strategies.continuous.speedup_vs_lockstep": "higher",
         "strategies.continuous.speedup_vs_sequential": "higher",
         "strategies.lockstep.speedup_vs_sequential": "higher",

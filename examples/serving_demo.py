@@ -7,6 +7,12 @@ threads (half of them streaming token-by-token), prints every result plus the
 requests completed and a tokens/sec figure was recorded — the same smoke
 contract the CI serving job relies on.
 
+It then repeats the client round against a **fleet** front-end
+(:class:`~repro.serving.fleet.http.FleetServer`, two decode worker processes
+over the pipe transport) and prints the per-worker ``/stats`` rows and a
+``worker``-labelled ``/metrics`` sample, asserting both workers came up and
+every request completed.
+
 The server binds port 0 so the OS assigns a free ephemeral port; every client
 reads the actual address back from ``BackgroundServer.url``.  The demo can
 therefore never collide with another listener (parallel CI jobs, a dev server
@@ -22,12 +28,14 @@ import http.client
 import json
 import os
 import threading
+import time
 
 import numpy as np
 
 from repro.nn.model_zoo import build_model
+from repro.obs import MetricsRegistry
 from repro.pipeline import SparseSession
-from repro.serving import BackgroundServer, SchedulerConfig
+from repro.serving import BackgroundServer, FleetConfig, FleetServer, SchedulerConfig
 
 N_REQUESTS = int(os.environ.get("REPRO_SERVING_DEMO_REQUESTS", "8"))
 
@@ -125,6 +133,60 @@ def main() -> None:
     assert scheduler["requests_completed"] >= N_REQUESTS
     assert scheduler["tokens_per_second"] > 0
     print("\nAll requests completed.")
+
+    fleet_demo()
+
+
+def fleet_demo() -> None:
+    """The same client round against a 2-worker multi-process fleet."""
+    print(f"\nStarting the fleet front-end (2 decode worker processes, pipe transport, "
+          f"{N_REQUESTS} concurrent clients)...")
+    config = FleetConfig(decode_workers=2, experiment_workers=0, transport="pipe")
+    with BackgroundServer(server_factory=FleetServer, fleet=config, port=0,
+                          registry=MetricsRegistry()) as background:
+        url = background.url
+        print(f"  bound {url} (OS-assigned free port)")
+        results: list = [None] * N_REQUESTS
+        threads = [
+            threading.Thread(target=fire_request, args=(url, i, results)) for i in range(N_REQUESTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index, result in enumerate(results):
+            print(f"  request {index} [{result['mode']:>6}] prompt={result['prompt']} "
+                  f"-> tokens={result['tokens']}")
+
+        time.sleep(0.6)  # let one heartbeat carry the per-worker counters over
+        host, port = _host_port(url)
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        connection.request("GET", "/stats")
+        stats = json.loads(connection.getresponse().read())
+        connection.close()
+        print("\nPer-worker stats:")
+        for worker_id, worker in sorted(stats["workers"].items()):
+            print(f"  {worker_id}: pid={worker['pid']} alive={worker['alive']} "
+                  f"restarts={worker['restarts']} "
+                  f"requests={worker.get('requests_total', 0.0):.0f} "
+                  f"tokens={worker.get('tokens_total', 0.0):.0f}")
+
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        connection.request("GET", "/metrics")
+        exposition = connection.getresponse().read().decode()
+        connection.close()
+        print("Sample worker-labelled scrape:")
+        for line in exposition.splitlines():
+            if line.startswith(("fleet_worker_up", "fleet_requests_completed_total")):
+                print(f"  {line}")
+
+    # The CI smoke contract, fleet edition: both workers up, everything served.
+    assert all(result is not None and result["status"] == 200 for result in results)
+    assert set(stats["workers"]) == {"decode-0", "decode-1"}
+    assert all(worker["alive"] for worker in stats["workers"].values())
+    assert stats["requests_completed"] >= N_REQUESTS
+    assert 'fleet_worker_up{worker="decode-0"} 1' in exposition
+    print("\nAll fleet requests completed.")
 
 
 if __name__ == "__main__":

@@ -46,6 +46,26 @@ METRIC_CATALOG: Dict[str, str] = {
     "prefill_tokens_total": "prompt tokens admitted (cached + forwarded)",
     "prefill_tokens_forwarded": "prompt tokens that actually ran the prefill forward",
     "prefill_tokens_saved": "prompt tokens whose prefill forward the cache eliminated",
+    # --------------------------------------------------- fleet counters
+    "fleet_requests_total": "generation requests accepted by the fleet router",
+    "fleet_requests_completed_total": "fleet requests that finished and streamed a result",
+    "fleet_requests_failed_total": "fleet requests that errored or exhausted re-dispatch",
+    "fleet_requests_redispatched_total": "in-flight requests re-dispatched after a worker death",
+    "fleet_experiments_total": "experiment jobs routed to the experiment worker class",
+    "fleet_worker_deaths_total": "workers declared dead (crash, SIGKILL, heartbeat silence)",
+    "fleet_worker_restarts_total": "workers relaunched after a death",
+    # ----------------------------------------------------- fleet gauges
+    "fleet_workers_alive": "live workers across both classes (decode + experiment)",
+    "fleet_queue_depth": "requests parked while no live worker can take them",
+    "fleet_worker_up": "1 when the labelled worker is alive and ready",
+    "fleet_worker_inflight": "requests currently assigned to the labelled worker",
+    "fleet_worker_restarts": "times the labelled worker slot has been relaunched",
+    "fleet_worker_requests_total": "requests served by the labelled worker (heartbeat mirror)",
+    "fleet_worker_tokens_total": "tokens decoded by the labelled worker (heartbeat mirror)",
+    "fleet_worker_busy_seconds": "busy wall seconds of the labelled worker (heartbeat mirror)",
+    "fleet_worker_experiments_total": "experiments run by the labelled worker (heartbeat mirror)",
+    # ------------------------------------------------- fleet histograms
+    "fleet_ttft_seconds": "fleet-side time to first token (submission to first streamed token)",
     # -------------------------------------------------- backend gauges
     "backend_gather_calls": "sparse MLP calls served by the gather-GEMM kernels",
     "backend_dense_calls": "sparse MLP calls that fell back to masked-dense",

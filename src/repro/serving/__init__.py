@@ -21,6 +21,13 @@ request-driven service:
   (``/generate`` with incremental token streaming, ``/experiment``,
   ``/stats``, ``/metrics`` in Prometheus or JSON form) plus
   :class:`BackgroundServer` for tests and demos.
+* :mod:`repro.serving.fleet` — the multi-process serving fleet:
+  :class:`FleetManager` launches N decode workers plus a separate experiment
+  worker class over pluggable mailbox transports (in-proc queues for
+  deterministic tests, ``multiprocessing`` pipes for real isolation), with
+  per-worker heartbeat/health, automatic restart, in-flight request
+  re-dispatch, and graceful drain; :class:`FleetServer` exposes the same
+  four HTTP endpoints routed through the fleet.
 * :mod:`repro.serving.workload` — :class:`WorkloadSpec` synthetic traces
   (Poisson/bursty arrivals, log-normal lengths, shared-prefix tenant fleets)
   expanded deterministically by :func:`generate_workload` and replayed with
@@ -54,6 +61,13 @@ from repro.serving.scheduler import (
 )
 from repro.serving.pool import SessionPool
 from repro.serving.server import BackgroundServer, ServingServer
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetManager,
+    FleetServer,
+    FleetStream,
+    WorkerSpec,
+)
 from repro.serving.workload import (
     ARRIVAL_PROCESSES,
     WorkloadRequest,
@@ -68,6 +82,10 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "BackgroundServer",
     "ContinuousBatchingScheduler",
+    "FleetConfig",
+    "FleetManager",
+    "FleetServer",
+    "FleetStream",
     "GenerationRequest",
     "GenerationResult",
     "RequestError",
@@ -75,6 +93,7 @@ __all__ = [
     "ServingServer",
     "SessionPool",
     "TokenStream",
+    "WorkerSpec",
     "WorkloadRequest",
     "WorkloadSpec",
     "generate_workload",

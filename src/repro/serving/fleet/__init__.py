@@ -1,0 +1,63 @@
+"""Multi-process serving fleet: router + worker pool with health/restart.
+
+The fleet promotes :mod:`repro.serving` from one asyncio process to a
+router + worker-pool architecture:
+
+* :mod:`~repro.serving.fleet.config` — :class:`WorkerSpec` (the JSON recipe
+  a worker rebuilds its session from), :class:`WorkerConfig`, and
+  :class:`FleetConfig` (pool sizes, transport, routing, health knobs).
+* :mod:`~repro.serving.fleet.exchange` — the mailbox abstraction: JSON
+  message channels over in-proc queues (deterministic tests) or
+  ``multiprocessing`` pipes (real process isolation), plus worker launch
+  and kill handles.
+* :mod:`~repro.serving.fleet.worker` — module-level worker entrypoints:
+  decode workers own a calibrated session + width-1 continuous batch and
+  stream tokens; experiment workers serve ``/experiment`` payloads so heavy
+  jobs can never block decode.
+* :mod:`~repro.serving.fleet.manager` — :class:`FleetManager`: routing
+  (least-loaded or prefix-affinity), heartbeat supervision, automatic
+  restart with in-flight request re-dispatch (greedy/seeded decoding is
+  deterministic, so a retried request reproduces its tokens and duplicates
+  are suppressed by index), and graceful drain.
+* :mod:`~repro.serving.fleet.http` — :class:`FleetServer`, the HTTP
+  front-end with per-worker ``/stats`` and ``worker``-labelled ``/metrics``.
+
+.. code-block:: python
+
+    from repro.serving import FleetConfig, FleetManager, GenerationRequest
+
+    with FleetManager(FleetConfig(decode_workers=2, transport="pipe")) as fleet:
+        result = fleet.generate(GenerationRequest(prompt=(5, 9, 2)))
+"""
+
+from repro.serving.fleet.config import (
+    DECODE_ENTRYPOINT,
+    EXPERIMENT_ENTRYPOINT,
+    FleetConfig,
+    ROUTING_POLICIES,
+    TRANSPORTS,
+    WorkerConfig,
+    WorkerSpec,
+    build_worker_session,
+)
+from repro.serving.fleet.exchange import Mailbox, TransportClosed, WorkerHandle, create_transport
+from repro.serving.fleet.http import FleetServer
+from repro.serving.fleet.manager import FleetManager, FleetStream
+
+__all__ = [
+    "DECODE_ENTRYPOINT",
+    "EXPERIMENT_ENTRYPOINT",
+    "FleetConfig",
+    "FleetManager",
+    "FleetServer",
+    "FleetStream",
+    "Mailbox",
+    "ROUTING_POLICIES",
+    "TRANSPORTS",
+    "TransportClosed",
+    "WorkerConfig",
+    "WorkerHandle",
+    "WorkerSpec",
+    "build_worker_session",
+    "create_transport",
+]

@@ -1,0 +1,362 @@
+"""Mailbox/exchange layer: JSON message channels with pluggable transports.
+
+The manager and every worker talk exclusively through a :class:`Mailbox` — a
+bidirectional channel carrying JSON objects (encoded to bytes on the wire, so
+the in-proc transport exercises the exact serialization discipline of the
+pipe transport and a payload that is not JSON-round-trippable fails in unit
+tests, not just under multiprocessing).  Two transports implement it:
+
+* :class:`InprocTransport` — a daemon thread plus a pair of ``queue.Queue``
+  byte channels.  Deterministic and fast; ``kill()`` sets an abort flag the
+  worker checks between tokens, emulating a hard death.
+* :class:`PipeTransport` — a ``multiprocessing`` process plus a duplex pipe.
+  Messages travel as ``send_bytes``/``recv_bytes`` of JSON text — never the
+  pickling ``send``/``recv`` (reprolint RL008 bans those outside this
+  module).  ``kill()`` is a real SIGKILL.
+
+Entrypoints are ``"module:function"`` strings resolved by import on the far
+side (:func:`resolve_entrypoint`), so any start method works and a lambda or
+closure can never cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+import os
+import queue
+import threading
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from multiprocessing.connection import Connection
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.fleet.exchange")
+
+EntrypointFn = Callable[["Mailbox", str], None]
+
+
+class TransportClosed(RuntimeError):
+    """The far side of a mailbox is gone (closed, crashed, or killed)."""
+
+
+def resolve_entrypoint(spec: str) -> EntrypointFn:
+    """Resolve a ``"module:function"`` entrypoint string to the callable.
+
+    The target must be a module-level callable — the importability contract
+    that lets both fork and spawn start methods (and the in-proc transport)
+    share one launch path.
+    """
+    module_name, sep, attr = spec.partition(":")
+    if not module_name or not sep or not attr or "." in attr:
+        raise ValueError(
+            f"entrypoint must be a 'package.module:function' string naming a module-level "
+            f"callable, got {spec!r}"
+        )
+    module = importlib.import_module(module_name)
+    func = getattr(module, attr, None)
+    if not callable(func):
+        raise TypeError(f"entrypoint {spec!r} did not resolve to a module-level callable")
+    return func  # type: ignore[no-any-return]
+
+
+class Mailbox:
+    """One end of a bidirectional JSON message channel."""
+
+    def send_json(self, message: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def recv_json(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Receive one message; ``None`` on timeout.
+
+        Raises :class:`TransportClosed` once the far side is gone.  A
+        ``timeout`` of ``0`` polls without blocking; ``None`` blocks until a
+        message arrives or the channel closes.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def aborted(self) -> bool:
+        """In-proc kill flag; workers poll it between tokens.  Pipe workers
+        never see it — SIGKILL needs no cooperation."""
+        return False
+
+    def hard_exit(self) -> None:
+        """Die abruptly mid-request (fault injection): no result, no goodbye."""
+        raise NotImplementedError
+
+
+_CLOSED_SENTINEL = b"\x00closed"
+
+
+class _QueueChannel:
+    """Shared state of one in-proc mailbox pair."""
+
+    def __init__(self) -> None:
+        self.to_worker: "queue.Queue[bytes]" = queue.Queue()
+        self.to_manager: "queue.Queue[bytes]" = queue.Queue()
+        self.closed = threading.Event()
+        self.abort = threading.Event()
+
+    def close(self) -> None:
+        self.closed.set()
+        # Wake any blocking recv on either side.
+        self.to_worker.put(_CLOSED_SENTINEL)
+        self.to_manager.put(_CLOSED_SENTINEL)
+
+
+class QueueMailbox(Mailbox):
+    """In-proc mailbox: thread-safe queues carrying JSON-encoded bytes."""
+
+    def __init__(self, channel: _QueueChannel, inbox: "queue.Queue[bytes]",
+                 outbox: "queue.Queue[bytes]") -> None:
+        self._channel = channel
+        self._inbox = inbox
+        self._outbox = outbox
+
+    def send_json(self, message: Mapping[str, Any]) -> None:
+        if self._channel.closed.is_set():
+            raise TransportClosed("in-proc channel closed")
+        self._outbox.put(json.dumps(dict(message), sort_keys=True).encode())
+
+    def recv_json(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        try:
+            if timeout == 0:
+                data = self._inbox.get_nowait()
+            else:
+                data = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            if self._channel.closed.is_set():
+                raise TransportClosed("in-proc channel closed") from None
+            return None
+        if data == _CLOSED_SENTINEL:
+            raise TransportClosed("in-proc channel closed")
+        payload = json.loads(data.decode())
+        if not isinstance(payload, dict):
+            raise TransportClosed(f"malformed frame on in-proc channel: {type(payload).__name__}")
+        return payload
+
+    def close(self) -> None:
+        self._channel.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._channel.closed.is_set()
+
+    @property
+    def aborted(self) -> bool:
+        return self._channel.abort.is_set()
+
+    def hard_exit(self) -> None:
+        self._channel.close()
+        raise TransportClosed("fault injection: in-proc worker died")
+
+
+class PipeMailbox(Mailbox):
+    """Pipe mailbox: a duplex :class:`multiprocessing.connection.Connection`.
+
+    Frames are JSON text via ``send_bytes``/``recv_bytes`` — the byte-level
+    API, never the pickling ``send``/``recv``.  A lock serializes writers
+    (the worker's heartbeat thread sends concurrently with its decode loop).
+    """
+
+    def __init__(self, conn: Connection) -> None:
+        self._conn = conn
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send_json(self, message: Mapping[str, Any]) -> None:
+        data = json.dumps(dict(message), sort_keys=True).encode()
+        try:
+            with self._send_lock:
+                self._conn.send_bytes(data)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise TransportClosed(f"pipe send failed: {exc}") from exc
+
+    def recv_json(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        try:
+            if not self._conn.poll(timeout):
+                return None
+            data = self._conn.recv_bytes()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise TransportClosed(f"pipe receive failed: {exc}") from exc
+        payload = json.loads(data.decode())
+        if not isinstance(payload, dict):
+            raise TransportClosed(f"malformed frame on pipe: {type(payload).__name__}")
+        return payload
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed by the OS
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def hard_exit(self) -> None:
+        # A real crash: skip atexit handlers, flushes, and the result message.
+        os._exit(1)
+
+
+class WorkerHandle:
+    """Manager-side grip on one launched worker: mailbox + liveness + kill."""
+
+    def __init__(self, mailbox: Mailbox, name: str) -> None:
+        self.mailbox = mailbox
+        self.name = name
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None
+
+    def alive(self) -> bool:
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        raise NotImplementedError
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+
+class InprocHandle(WorkerHandle):
+    def __init__(self, mailbox: Mailbox, thread: threading.Thread, channel: _QueueChannel) -> None:
+        super().__init__(mailbox, thread.name)
+        self._thread = thread
+        self._channel = channel
+
+    def alive(self) -> bool:
+        return self._thread.is_alive() and not self._channel.closed.is_set()
+
+    def kill(self) -> None:
+        # Threads cannot be SIGKILLed: set the abort flag the worker polls
+        # between tokens, then close the channel so blocking recvs wake.
+        self._channel.abort.set()
+        self._channel.close()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+
+class PipeHandle(WorkerHandle):
+    def __init__(self, mailbox: Mailbox, process: "multiprocessing.process.BaseProcess") -> None:
+        super().__init__(mailbox, process.name)
+        self._process = process
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
+
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def kill(self) -> None:
+        if self._process.is_alive():
+            self._process.kill()  # SIGKILL: no cleanup, no goodbye
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._process.join(timeout)
+
+
+def _inproc_bootstrap(entrypoint: str, mailbox: Mailbox, config_json: str) -> None:
+    """Thread target for in-proc workers (module-level: RL008)."""
+    try:
+        resolve_entrypoint(entrypoint)(mailbox, config_json)
+    except TransportClosed:
+        pass
+    except Exception:  # pragma: no cover - defensive; surfaces in logs
+        logger.exception("in-proc worker %s crashed", threading.current_thread().name)
+    finally:
+        mailbox.close()
+
+
+def _pipe_bootstrap(conn: Connection, entrypoint: str, config_json: str) -> None:
+    """Process target for pipe workers (module-level importable: RL008)."""
+    mailbox = PipeMailbox(conn)
+    try:
+        resolve_entrypoint(entrypoint)(mailbox, config_json)
+    except TransportClosed:
+        pass
+    finally:
+        mailbox.close()
+
+
+class Transport:
+    """Launches workers and returns :class:`WorkerHandle`\\ s."""
+
+    name = "abstract"
+
+    def launch(self, entrypoint: str, config_json: str, *, name: str) -> WorkerHandle:
+        raise NotImplementedError
+
+
+class InprocTransport(Transport):
+    name = "inproc"
+
+    def launch(self, entrypoint: str, config_json: str, *, name: str) -> WorkerHandle:
+        resolve_entrypoint(entrypoint)  # fail fast on a bad entrypoint
+        channel = _QueueChannel()
+        manager_box = QueueMailbox(channel, inbox=channel.to_manager, outbox=channel.to_worker)
+        worker_box = QueueMailbox(channel, inbox=channel.to_worker, outbox=channel.to_manager)
+        thread = threading.Thread(
+            target=_inproc_bootstrap, args=(entrypoint, worker_box, config_json),
+            name=name, daemon=True,
+        )
+        thread.start()
+        return InprocHandle(manager_box, thread, channel)
+
+
+class PipeTransport(Transport):
+    name = "pipe"
+
+    def __init__(self, start_method: Optional[str] = None) -> None:
+        self._ctx = multiprocessing.get_context(start_method)
+
+    def launch(self, entrypoint: str, config_json: str, *, name: str) -> WorkerHandle:
+        resolve_entrypoint(entrypoint)  # fail fast in the parent, not the child
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pipe_bootstrap, args=(child_conn, entrypoint, config_json),
+            name=name, daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the child end so a dead child reads as
+        # EOF (TransportClosed) instead of a pipe that never closes.
+        child_conn.close()
+        return PipeHandle(PipeMailbox(parent_conn), process)
+
+
+def create_transport(name: str, *, start_method: Optional[str] = None) -> Transport:
+    if name == "inproc":
+        return InprocTransport()
+    if name == "pipe":
+        return PipeTransport(start_method)
+    raise ValueError(f"unknown transport {name!r}; use 'inproc' or 'pipe'")
+
+
+__all__ = [
+    "InprocHandle",
+    "InprocTransport",
+    "Mailbox",
+    "PipeHandle",
+    "PipeMailbox",
+    "PipeTransport",
+    "QueueMailbox",
+    "Transport",
+    "TransportClosed",
+    "WorkerHandle",
+    "create_transport",
+    "resolve_entrypoint",
+]

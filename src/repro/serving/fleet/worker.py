@@ -1,0 +1,311 @@
+"""Worker entrypoints: the code that runs inside fleet worker processes.
+
+Both entrypoints are module-level callables addressed by
+``"module:function"`` strings (reprolint RL008), take ``(mailbox,
+config_json)`` and speak only JSON messages:
+
+* :func:`decode_worker_main` — owns a calibrated
+  :class:`~repro.pipeline.session.SparseSession` (seeded via
+  ``share_calibration()``) and a width-1
+  :class:`~repro.engine.inference.ContinuousBatch`; serves ``generate``
+  messages token-by-token (``token`` frames, then a terminal ``result``
+  carrying a :class:`~repro.serving.requests.GenerationResult` dict).
+* :func:`experiment_worker_main` — owns its own session and serves
+  ``experiment`` messages through
+  :func:`~repro.serving.requests.run_experiment_payload`, so experiments run
+  on a separate worker class and can never block decode.
+
+Workers push a ``heartbeat`` frame (with a stats snapshot) every
+``heartbeat_interval_s`` from a side thread, poll for ``cancel`` frames
+between tokens, and honor a gated fault-injection hook (``fault`` key on work
+messages, only when the config allows it) so CI can kill a worker
+mid-request deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.engine.inference import ContinuousBatch
+from repro.nn.transformer import _sample_token
+from repro.obs import monotonic
+from repro.serving.fleet.config import WorkerConfig
+from repro.serving.fleet.exchange import Mailbox, TransportClosed
+from repro.serving.requests import (
+    GenerationRequest,
+    GenerationResult,
+    RequestError,
+    run_experiment_payload,
+)
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+logger = get_logger("serving.fleet.worker")
+
+FAULT_BEFORE_PREFILL = "before-prefill"
+FAULT_BEFORE_RUN = "before-run"
+_FAULT_AFTER_TOKEN = "after-token-"
+
+
+class _WorkerStats:
+    """Thread-safe counters mirrored to the manager via heartbeats."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.tokens_total = 0
+        self.busy_seconds = 0.0
+        self.experiments_total = 0
+
+    def record(self, *, requests: int = 0, tokens: int = 0, busy: float = 0.0,
+               experiments: int = 0) -> None:
+        with self._lock:
+            self.requests_total += requests
+            self.tokens_total += tokens
+            self.busy_seconds += busy
+            self.experiments_total += experiments
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "requests_total": float(self.requests_total),
+                "tokens_total": float(self.tokens_total),
+                "busy_seconds": self.busy_seconds,
+                "experiments_total": float(self.experiments_total),
+            }
+
+
+class _HeartbeatSender(threading.Thread):
+    """Pushes ``heartbeat`` frames so a busy-but-healthy worker stays alive
+    in the manager's books even while its main thread is deep in a forward."""
+
+    def __init__(self, mailbox: Mailbox, config: WorkerConfig, stats: _WorkerStats) -> None:
+        super().__init__(name=f"{config.worker_id}-heartbeat", daemon=True)
+        self._mailbox = mailbox
+        self._config = config
+        self._stats = stats
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._config.heartbeat_interval_s):
+            try:
+                self._mailbox.send_json({
+                    "type": "heartbeat",
+                    "worker_id": self._config.worker_id,
+                    "stats": self._stats.snapshot(),
+                })
+            except TransportClosed:
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _maybe_crash(fault: Optional[str], point: str, mailbox: Mailbox) -> None:
+    if fault == point:
+        logger.warning("fault injection: dying at %r", point)
+        mailbox.hard_exit()
+
+
+def _drain_control(mailbox: Mailbox, backlog: Deque[Dict[str, Any]],
+                   cancelled: Set[str]) -> None:
+    """Pull everything waiting on the mailbox without blocking.
+
+    ``cancel`` frames are folded into ``cancelled``; anything else queues in
+    ``backlog`` to be served after the current request.
+    """
+    while True:
+        message = mailbox.recv_json(timeout=0)
+        if message is None:
+            return
+        if message.get("type") == "cancel":
+            cancelled.add(str(message.get("request_id", "")))
+        else:
+            backlog.append(message)
+
+
+def _serve_generate(
+    batch: ContinuousBatch,
+    mailbox: Mailbox,
+    message: Dict[str, Any],
+    config: WorkerConfig,
+    stats: _WorkerStats,
+    backlog: Deque[Dict[str, Any]],
+    cancelled: Set[str],
+) -> None:
+    request = GenerationRequest.from_dict(message["request"])
+    fault = str(message["fault"]) if config.allow_fault_injection and message.get("fault") else None
+    request_id = request.request_id
+    if request_id in cancelled:
+        cancelled.discard(request_id)
+        result = GenerationResult(request_id=request_id, prompt=request.prompt, tokens=(),
+                                  finish_reason="cancelled")
+        mailbox.send_json({"type": "result", "request_id": request_id, "result": result.to_dict()})
+        return
+    started = monotonic()
+    deadline = started + request.timeout_s if request.timeout_s is not None else None
+    _maybe_crash(fault, FAULT_BEFORE_PREFILL, mailbox)
+    slot: Optional[int] = None
+    try:
+        slots, logits = batch.admit([request.prompt_array()], request_ids=[request_id])
+        slot = slots[0]
+        rng = new_rng(request.seed)
+        tokens: List[int] = []
+        finish_reason = "length"
+        token = _sample_token(logits[0], request.temperature, rng)
+        while True:
+            tokens.append(int(token))
+            mailbox.send_json({
+                "type": "token", "request_id": request_id,
+                "index": len(tokens) - 1, "token": int(token),
+            })
+            if mailbox.aborted:
+                raise TransportClosed("worker killed")
+            _maybe_crash(fault, f"{_FAULT_AFTER_TOKEN}{len(tokens) - 1}", mailbox)
+            if len(tokens) >= request.max_new_tokens:
+                break
+            if deadline is not None and monotonic() > deadline:
+                finish_reason = "timeout"
+                break
+            _drain_control(mailbox, backlog, cancelled)
+            if request_id in cancelled:
+                cancelled.discard(request_id)
+                finish_reason = "cancelled"
+                break
+            logits_step = batch.step([slot], [int(token)])
+            token = _sample_token(logits_step[0], request.temperature, rng)
+        busy = monotonic() - started
+        stats.record(requests=1, tokens=len(tokens), busy=busy)
+        result = GenerationResult(
+            request_id=request_id, prompt=request.prompt, tokens=tuple(tokens),
+            finish_reason=finish_reason, decode_seconds=busy,
+        )
+        mailbox.send_json({"type": "result", "request_id": request_id, "result": result.to_dict()})
+    except TransportClosed:
+        raise
+    except Exception as exc:
+        kind = "request" if isinstance(exc, (RequestError, ValueError)) else "internal"
+        mailbox.send_json({
+            "type": "error", "request_id": request_id,
+            "error": f"{type(exc).__name__}: {exc}", "kind": kind,
+        })
+    finally:
+        if slot is not None and batch.occupied[slot]:
+            batch.evict(slot)
+
+
+def decode_worker_main(mailbox: Mailbox, config_json: str) -> None:
+    """Entrypoint of a decode worker: build session, calibrate, serve."""
+    config = WorkerConfig.from_json(config_json)
+    from repro.serving.fleet.config import build_worker_session
+
+    base = build_worker_session(config.spec)
+    base.calibrate()
+    session = base.share_calibration()
+    session.calibrate()
+    assert session.engine is not None  # built with a model above
+    batch = ContinuousBatch.from_engine(
+        session.engine, max_batch_size=1, max_seq_len=config.spec.max_seq_len
+    )
+    stats = _WorkerStats()
+    heartbeat = _HeartbeatSender(mailbox, config, stats)
+    heartbeat.start()
+    backlog: Deque[Dict[str, Any]] = deque()
+    cancelled: Set[str] = set()
+    try:
+        mailbox.send_json({
+            "type": "ready", "worker_id": config.worker_id, "role": "decode",
+            "pid": os.getpid(), "max_seq_len": int(batch.max_seq_len),
+        })
+        while True:
+            message = backlog.popleft() if backlog else mailbox.recv_json(timeout=None)
+            if message is None:
+                continue
+            if mailbox.aborted:
+                return
+            mtype = message.get("type")
+            if mtype == "stop":
+                mailbox.send_json({"type": "stopped", "worker_id": config.worker_id})
+                return
+            if mtype == "generate":
+                # Per-request reset: output must never depend on prior worker
+                # usage, matching SparseSession.generate's contract (this is
+                # what makes crash re-dispatch reproduce identical tokens).
+                session.reset()
+                _serve_generate(batch, mailbox, message, config, stats, backlog, cancelled)
+            elif mtype == "cancel":
+                cancelled.add(str(message.get("request_id", "")))
+            elif mtype == "ping":
+                mailbox.send_json({"type": "heartbeat", "worker_id": config.worker_id,
+                                   "stats": stats.snapshot()})
+            else:
+                logger.warning("decode worker %s ignoring %r message", config.worker_id, mtype)
+    except TransportClosed:
+        return
+    finally:
+        heartbeat.stop()
+
+
+def experiment_worker_main(mailbox: Mailbox, config_json: str) -> None:
+    """Entrypoint of an experiment worker: serve ``/experiment`` payloads."""
+    config = WorkerConfig.from_json(config_json)
+    from repro.serving.fleet.config import build_worker_session
+
+    session = build_worker_session(config.spec)
+    session.calibrate()
+    stats = _WorkerStats()
+    heartbeat = _HeartbeatSender(mailbox, config, stats)
+    heartbeat.start()
+    try:
+        mailbox.send_json({
+            "type": "ready", "worker_id": config.worker_id, "role": "experiment",
+            "pid": os.getpid(), "max_seq_len": 0,
+        })
+        while True:
+            message = mailbox.recv_json(timeout=None)
+            if message is None:
+                continue
+            if mailbox.aborted:
+                return
+            mtype = message.get("type")
+            if mtype == "stop":
+                mailbox.send_json({"type": "stopped", "worker_id": config.worker_id})
+                return
+            if mtype == "experiment":
+                job_id = str(message.get("job_id", ""))
+                fault = (str(message["fault"])
+                         if config.allow_fault_injection and message.get("fault") else None)
+                _maybe_crash(fault, FAULT_BEFORE_RUN, mailbox)
+                started = monotonic()
+                try:
+                    payload = run_experiment_payload(message["payload"], session=session)
+                except Exception as exc:
+                    kind = "request" if isinstance(exc, (RequestError, ValueError)) else "internal"
+                    mailbox.send_json({
+                        "type": "experiment_error", "job_id": job_id,
+                        "error": f"{type(exc).__name__}: {exc}", "kind": kind,
+                    })
+                else:
+                    stats.record(experiments=1, busy=monotonic() - started)
+                    mailbox.send_json({
+                        "type": "experiment_result", "job_id": job_id, "result": payload,
+                    })
+            else:
+                logger.warning("experiment worker %s ignoring %r message", config.worker_id, mtype)
+    except TransportClosed:
+        return
+    finally:
+        heartbeat.stop()
+
+
+__all__ = [
+    "FAULT_BEFORE_PREFILL",
+    "FAULT_BEFORE_RUN",
+    "decode_worker_main",
+    "experiment_worker_main",
+]

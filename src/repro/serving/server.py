@@ -29,7 +29,7 @@ import asyncio
 import json
 import threading
 import urllib.parse
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.obs import MetricsRegistry, TraceSink
 from repro.pipeline.session import SparseSession
@@ -265,7 +265,7 @@ class ServingServer:
 
 
 class BackgroundServer:
-    """Run a :class:`ServingServer` on a daemon thread (tests, demos, CLIs).
+    """Run an asyncio serving front-end on a daemon thread (tests, demos).
 
     ::
 
@@ -273,12 +273,23 @@ class BackgroundServer:
         background.start()          # returns once the port is bound
         ... http requests against background.url ...
         background.stop()
+
+    By default builds a :class:`ServingServer` from ``session``; pass
+    ``server_factory`` (a zero-arg callable returning any object with async
+    ``start``/``stop`` and a ``url``, e.g. a
+    :class:`~repro.serving.fleet.http.FleetServer`) to host a different
+    front-end on the same thread/loop machinery.
     """
 
-    def __init__(self, session: SparseSession, **server_kwargs: Any) -> None:
+    def __init__(self, session: Optional[SparseSession] = None,
+                 server_factory: Optional[Callable[..., Any]] = None,
+                 **server_kwargs: Any) -> None:
+        if (session is None) == (server_factory is None):
+            raise ValueError("pass exactly one of session or server_factory")
         self._session = session
+        self._server_factory = server_factory
         self._server_kwargs = server_kwargs
-        self.server: Optional[ServingServer] = None
+        self.server: Optional[Any] = None
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()
@@ -319,7 +330,11 @@ class BackgroundServer:
         asyncio.set_event_loop(loop)
         self._loop = loop
         try:
-            self.server = ServingServer(self._session, **self._server_kwargs)
+            if self._server_factory is not None:
+                self.server = self._server_factory(**self._server_kwargs)
+            else:
+                assert self._session is not None  # enforced in __init__
+                self.server = ServingServer(self._session, **self._server_kwargs)
             loop.run_until_complete(self.server.start())
         except BaseException as exc:  # surface construction errors to start()
             self._error = exc

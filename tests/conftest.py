@@ -8,6 +8,9 @@ model) so the suite stays fast.
 
 from __future__ import annotations
 
+import faulthandler
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -18,6 +21,40 @@ from repro.training.trainer import TrainingConfig, train_language_model
 
 #: Vocabulary shared by the tiny test corpus and models (60 symbols + 4 specials).
 TEST_VOCAB = 64
+
+#: Modules whose tests involve threads, worker processes, and blocking queues —
+#: a bug there wedges instead of failing, so they get a watchdog by default.
+WATCHDOG_MODULES = ("test_serving", "test_fleet")
+
+#: Default per-test wall-clock budget (seconds) for the watchdog modules.
+WATCHDOG_TIMEOUT_S = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog(request):
+    """Per-test timeout with a full stack dump on expiry.
+
+    ``pytest-timeout`` is not a dependency, so the stdlib ``faulthandler``
+    fills in: if a test outlives its budget (a deadlocked mailbox, a worker
+    that never reports ready), every thread's traceback is dumped to stderr
+    and the process exits — CI sees *where* it hung instead of waiting for
+    the job-level ``timeout-minutes`` to reap a silent runner.  Applies to
+    the serving/fleet suites automatically; any test can opt in (or override
+    the budget) with ``@pytest.mark.timeout(seconds)``.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+    elif marker is not None or Path(str(request.node.fspath)).stem in WATCHDOG_MODULES:
+        seconds = WATCHDOG_TIMEOUT_S
+    else:
+        yield
+        return
+    faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture(scope="session")

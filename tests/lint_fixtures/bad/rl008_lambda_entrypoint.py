@@ -1,0 +1,16 @@
+"""BAD: closures handed across the process boundary."""
+
+import threading
+
+
+def launch(entrypoint):
+    return entrypoint
+
+
+def start(mailbox):
+    def run():
+        mailbox.send_json({"type": "ready"})
+
+    threading.Thread(target=lambda: run(), daemon=True).start()
+    launch(entrypoint=run)
+    launch("worker_main")

@@ -1,0 +1,9 @@
+"""BAD: pickle-framed payloads on the fleet wire."""
+
+import pickle
+
+
+def reply(conn, result):
+    conn.send(result)
+    conn.send_bytes(pickle.dumps(result))
+    return conn.recv()

@@ -1,0 +1,19 @@
+"""GOOD: module-level entrypoints, JSON-only frames on the fleet wire."""
+
+import json
+import threading
+
+
+def worker_main(mailbox, config_json):
+    config = json.loads(config_json)
+    mailbox.send_json({"type": "ready", "worker_id": config["worker_id"]})
+
+
+def launch(entrypoint, config_json):
+    return entrypoint, config_json
+
+
+def start(mailbox):
+    thread = threading.Thread(target=worker_main, args=(mailbox, "{}"), daemon=True)
+    handle = launch("repro.serving.fleet.worker:decode_worker_main", "{}")
+    return thread, handle

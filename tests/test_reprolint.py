@@ -37,6 +37,7 @@ DESTINATIONS = {
     "rl005": "src/repro/hwsim/{stem}.py",
     "rl006": "src/repro/nn/{stem}.py",
     "rl007": "src/repro/serving/{stem}.py",
+    "rl008": "src/repro/serving/fleet/{stem}.py",
 }
 
 #: docs/API.md content the RL004 spec fixtures are checked against.
@@ -91,9 +92,9 @@ BAD = sorted(FIXTURES.glob("bad/*.py"))
 
 def test_fixture_inventory():
     """One good and at least two bad failing cases per rule."""
-    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005", "rl006", "rl007"):
+    for rule in ("rl001", "rl002", "rl003", "rl004", "rl005", "rl006", "rl007", "rl008"):
         assert any(f.stem.startswith(rule) for f in GOOD), rule
-    assert len(BAD) >= 14  # >= 2 failing cases per rule across the bad files
+    assert len(BAD) >= 16  # >= 2 failing cases per rule across the bad files
 
 
 @pytest.mark.parametrize("fixture", GOOD, ids=lambda p: p.stem)

@@ -12,6 +12,7 @@ from tools.reprolint.rules.rl004_spec_docs_sync import SpecDocsSyncRule
 from tools.reprolint.rules.rl005_hwsim_literals import HwsimLiteralRule
 from tools.reprolint.rules.rl006_backend_seam import BackendSeamRule
 from tools.reprolint.rules.rl007_metrics_catalog import MetricsCatalogRule
+from tools.reprolint.rules.rl008_fleet_hygiene import FleetHygieneRule
 
 ALL_RULES: List[Rule] = [
     AsyncBlockingRule(),
@@ -21,6 +22,7 @@ ALL_RULES: List[Rule] = [
     HwsimLiteralRule(),
     BackendSeamRule(),
     MetricsCatalogRule(),
+    FleetHygieneRule(),
 ]
 
 KNOWN_RULE_IDS = [rule.id for rule in ALL_RULES]

@@ -1,0 +1,218 @@
+"""RL008 — fleet hygiene: importable entrypoints, JSON-only payloads.
+
+Two contracts keep the multi-process serving fleet restartable and
+transport-agnostic:
+
+1. **Entrypoints must survive the process boundary.**  A worker entrypoint
+   is addressed as a ``"package.module:function"`` string and resolved by
+   import on the far side, so it works under fork *and* spawn.  A lambda or
+   a nested function handed to ``Thread(target=...)`` / ``Process(target=...)``
+   (or to a ``launch(entrypoint=...)`` call) only works by accident under
+   fork and breaks the moment the start method changes — and can never be
+   expressed as a restart recipe.
+
+2. **Cross-process payloads are JSON, full stop.**  Everything on a fleet
+   mailbox round-trips through the existing JSON request/result types
+   (``GenerationRequest.to_dict()`` and friends).  Pickle-family imports are
+   banned in fleet modules, as are the pickling ``Connection.send()`` /
+   ``.recv()`` calls; the byte-level ``send_bytes``/``recv_bytes`` pair is
+   allowed only inside ``exchange.py`` — the one serialization choke point —
+   so no other module can smuggle a non-JSON frame onto the wire.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from tools.reprolint.core import Finding, Project, Rule, SourceFile
+
+#: Modules whose import means a non-JSON serialization path exists.
+PICKLE_MODULES = frozenset({"pickle", "cPickle", "dill", "cloudpickle", "marshal", "shelve"})
+
+#: Constructors whose ``target=`` crosses an execution boundary.
+SPAWN_CONSTRUCTORS = frozenset({"Thread", "Process"})
+
+#: Call names whose ``entrypoint`` argument is a worker entrypoint.
+LAUNCH_CALLS = frozenset({"launch", "launch_worker"})
+
+#: The one module allowed to touch the byte-level pipe API.
+EXCHANGE_MODULE = "exchange.py"
+
+_ENTRYPOINT_RE = re.compile(r"^[A-Za-z_][\w.]*:[A-Za-z_]\w*$")
+
+
+def _nested_def_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class FleetHygieneRule(Rule):
+    id = "RL008"
+    name = "fleet-hygiene"
+    description = (
+        "fleet worker entrypoints must be module-level importable callables (no "
+        "lambdas/closures across the process boundary) and cross-process payloads must "
+        "round-trip as JSON (no pickle imports; pipe bytes only via exchange.py)"
+    )
+    scope = ("src/repro/serving/fleet/*.py",)
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for source in project.sources_matching(self.scope):
+            if source.tree is None:
+                continue
+            findings.extend(self._check_module(source))
+        return findings
+
+    def _check_module(self, source: SourceFile) -> List[Finding]:
+        tree = source.tree
+        assert tree is not None  # guarded by the caller
+        findings: List[Finding] = []
+        nested = _nested_def_names(tree)
+        findings.extend(self._check_imports(source, tree))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            findings.extend(self._check_spawn_target(source, node, nested))
+            findings.extend(self._check_entrypoint_arg(source, node, nested))
+            findings.extend(self._check_pipe_api(source, node))
+        return findings
+
+    # ------------------------------------------------------------ entrypoints
+    def _check_spawn_target(
+        self, source: SourceFile, call: ast.Call, nested: Set[str]
+    ) -> List[Finding]:
+        if _call_name(call) not in SPAWN_CONSTRUCTORS:
+            return []
+        for keyword in call.keywords:
+            if keyword.arg != "target":
+                continue
+            reason = self._non_importable_reason(keyword.value, nested)
+            if reason is not None:
+                return [
+                    Finding(
+                        self.id, source.rel, call.lineno,
+                        f"{_call_name(call)}(target=...) receives {reason}; it cannot "
+                        "cross the process boundary under spawn or be relaunched",
+                        "pass a module-level function (or an importable "
+                        "'package.module:function' entrypoint string)",
+                    )
+                ]
+        return []
+
+    def _check_entrypoint_arg(
+        self, source: SourceFile, call: ast.Call, nested: Set[str]
+    ) -> List[Finding]:
+        if _call_name(call) not in LAUNCH_CALLS:
+            return []
+        candidates = [kw.value for kw in call.keywords if kw.arg == "entrypoint"]
+        if not candidates and call.args:
+            candidates = [call.args[0]]
+        findings: List[Finding] = []
+        for value in candidates:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                if not _ENTRYPOINT_RE.match(value.value):
+                    findings.append(
+                        Finding(
+                            self.id, source.rel, value.lineno,
+                            f"entrypoint string {value.value!r} is not of the importable "
+                            "'package.module:function' form",
+                            "address worker entrypoints as 'package.module:function' so "
+                            "any start method can resolve them by import",
+                        )
+                    )
+                continue
+            reason = self._non_importable_reason(value, nested)
+            if reason is not None:
+                findings.append(
+                    Finding(
+                        self.id, source.rel, value.lineno,
+                        f"worker entrypoint is {reason}; entrypoints must be importable",
+                        "pass an importable 'package.module:function' entrypoint string",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _non_importable_reason(value: ast.expr, nested: Set[str]) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Name) and value.id in nested:
+            return f"the nested function '{value.id}' (a closure)"
+        return None
+
+    # ------------------------------------------------------------ JSON frames
+    def _check_imports(self, source: SourceFile, tree: ast.Module) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            modules: List[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules = [node.module.split(".")[0]]
+            for module in modules:
+                if module in PICKLE_MODULES:
+                    findings.append(
+                        Finding(
+                            self.id, source.rel, node.lineno,
+                            f"fleet module imports '{module}': cross-process payloads "
+                            "must round-trip as JSON, never pickle",
+                            "serialize through the JSON request/result types "
+                            "(GenerationRequest/GenerationResult/WorkerSpec .to_dict())",
+                        )
+                    )
+        return findings
+
+    def _check_pipe_api(self, source: SourceFile, call: ast.Call) -> List[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return []
+        if func.attr in {"send", "recv"} and not isinstance(func.value, ast.Attribute):
+            # Connection.send/recv pickle their argument.  Only flag simple
+            # `name.send(...)` shapes: chained attributes (self.mailbox.
+            # send_json resolved helpers) never expose the raw pair.
+            if isinstance(func.value, ast.Name):
+                return [
+                    Finding(
+                        self.id, source.rel, call.lineno,
+                        f"raw '.{func.attr}()' call: multiprocessing Connection "
+                        f"{func.attr}() pickles its payload",
+                        "use the mailbox send_json/recv_json API (JSON frames only)",
+                    )
+                ]
+            return []
+        if func.attr in {"send_bytes", "recv_bytes"} and not source.rel.endswith(EXCHANGE_MODULE):
+            return [
+                Finding(
+                    self.id, source.rel, call.lineno,
+                    f"byte-level pipe call '.{func.attr}()' outside exchange.py",
+                    "route frames through a Mailbox so exchange.py stays the one "
+                    "serialization choke point",
+                )
+            ]
+        return []
