@@ -1,0 +1,233 @@
+"""Self-speculative decoding benchmark: acceptance rate, draft cost, parity.
+
+Trains the tiny model-zoo model briefly on the deterministic synthetic
+corpus (speculation is only meaningful when the target distribution has
+structure — an untrained model's near-uniform argmax accepts almost no
+drafts), then decodes a fixed prompt set plain vs speculatively for each
+method x draft density:
+
+* **acceptance_rate** — drafted tokens the target verify forward accepted.
+  The headline metric: it is what makes speculation profitable on hardware
+  where a low-density draft forward is actually cheaper.
+* **drafts_per_token** — draft forwards spent per emitted token (the cost
+  side of the same coin).
+* **speedup_vs_plain** — wall-clock plain / speculative on this runner,
+  recorded honestly but **ungated**: the numpy backend prices a draft
+  forward the same as a target forward on small models, so CPU wall time
+  cannot show the win — acceptance is the hardware-independent signal (the
+  PR-9 precedent of recording honest numbers a 1-CPU runner cannot gate).
+
+Runs standalone (no pytest, no checkpoints)::
+
+    PYTHONPATH=src python benchmarks/bench_speculative.py [--check] [--fast]
+
+``--check`` exits non-zero if speculative output ever differs from plain
+``generate`` (single-sequence or batched), if ``acceptance_rate`` at draft
+density 0.35 falls below ``ACCEPTANCE_GATE``, or if ``drafts_per_token`` at
+0.35 exceeds ``DRAFTS_PER_TOKEN_GATE``.  The JSON record lands at the repo
+root (``BENCH_speculative.json``); its ratio metrics are tracked by
+``benchmarks/check_trajectory.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import make_splits
+from repro.engine.inference import SparseInferenceEngine
+from repro.engine.speculative import SpeculativeDecoder
+from repro.nn.model_zoo import build_model
+from repro.sparsity.registry import REGISTRY
+from repro.training.trainer import TrainingConfig, train_language_model
+
+_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = _ROOT / "BENCH_speculative.json"
+
+MODEL_NAME = "tiny"
+METHODS = ("gate", "dip")
+TARGET_DENSITY = 0.75
+DRAFT_DENSITIES = (0.15, 0.35)
+K = 4
+
+#: Accepted fraction of drafted tokens the gated density (0.35) must reach.
+ACCEPTANCE_GATE = 0.5
+
+#: Draft forwards per emitted token the gated density must stay under.
+DRAFTS_PER_TOKEN_GATE = 1.5
+
+#: The draft density the --check gates apply to (``d035`` in the record).
+GATED_DENSITY = 0.35
+
+
+def _density_key(density: float) -> str:
+    return f"d{int(round(density * 100)):03d}"
+
+
+def make_trained_session(fast: bool):
+    """The tiny zoo model, briefly trained, plus calibration/eval prompts."""
+    model = build_model(MODEL_NAME, seed=0)
+    splits = make_splits(
+        n_tokens=24_000,
+        seed=11,
+        seq_len=32,
+        vocab_size=int(model.config.vocab_size) - 4,
+        branching_factor=6,
+    )
+    train_language_model(
+        model,
+        splits.train,
+        TrainingConfig(steps=60 if fast else 120, batch_size=8, learning_rate=3e-3,
+                       log_every=0, seed=1),
+    )
+    model.eval()
+    calibration = splits.train.sequences[:4]
+    n_prompts = 4 if fast else 8
+    prompts = [np.asarray(seq[:12]) for seq in splits.test.sequences[:n_prompts]]
+    return model, calibration, prompts
+
+
+def _decode_all(decode, prompts: Sequence[np.ndarray], max_new: int) -> List[np.ndarray]:
+    return [decode(prompt, max_new) for prompt in prompts]
+
+
+def bench_method(
+    model,
+    calibration: np.ndarray,
+    prompts: Sequence[np.ndarray],
+    method: str,
+    fast: bool,
+) -> Dict[str, object]:
+    max_new = 16 if fast else 32
+    repeats = 2 if fast else 3
+    target = SparseInferenceEngine(model, REGISTRY.create(method, target_density=TARGET_DENSITY))
+    if target.method.requires_calibration:
+        target.method.calibrate(model, calibration)
+
+    plain_wall = float("inf")
+    reference: List[np.ndarray] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        reference = _decode_all(
+            lambda p, n: target.generate(p, n, temperature=0.0), prompts, max_new
+        )
+        plain_wall = min(plain_wall, time.perf_counter() - started)
+    batch_reference = target.generate_batch(list(prompts), max_new, temperature=0.0)
+
+    densities: Dict[str, object] = {}
+    parity = True
+    for draft_density in DRAFT_DENSITIES:
+        decoder = SpeculativeDecoder.from_engine(
+            target, draft_density=draft_density, k=K, calibration_sequences=calibration
+        )
+        spec_wall = float("inf")
+        outputs: List[np.ndarray] = []
+        for _ in range(repeats):
+            decoder.stats.reset()
+            started = time.perf_counter()
+            outputs = _decode_all(decoder.generate, prompts, max_new)
+            spec_wall = min(spec_wall, time.perf_counter() - started)
+        parity = parity and all(
+            np.array_equal(out, ref) for out, ref in zip(outputs, reference)
+        )
+        single_stats = decoder.stats.as_dict()
+
+        decoder.stats.reset()
+        batch_outputs = decoder.generate_batch(list(prompts), max_new)
+        parity = parity and bool(np.array_equal(batch_outputs, batch_reference))
+
+        densities[_density_key(draft_density)] = {
+            "draft_density": draft_density,
+            "acceptance_rate": single_stats["acceptance_rate"],
+            "drafts_per_token": single_stats["drafts_per_token"],
+            "rounds": single_stats["rounds"],
+            "bonus_tokens": single_stats["bonus_tokens"],
+            "wall_plain_s": plain_wall,
+            "wall_speculative_s": spec_wall,
+            "speedup_vs_plain": (plain_wall / spec_wall) if spec_wall > 0 else 0.0,
+            "batched_acceptance": decoder.stats.acceptance_rate,
+        }
+    return {"target_density": TARGET_DENSITY, "parity": parity, "densities": densities}
+
+
+def run(fast: bool = False) -> Dict[str, object]:
+    model, calibration, prompts = make_trained_session(fast)
+    methods = {
+        method: bench_method(model, calibration, prompts, method, fast)
+        for method in METHODS
+    }
+    return {
+        "model": MODEL_NAME,
+        "k": K,
+        "max_new_tokens": 16 if fast else 32,
+        "n_prompts": len(prompts),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "gates": {
+            "acceptance_gate": ACCEPTANCE_GATE,
+            "drafts_per_token_gate": DRAFTS_PER_TOKEN_GATE,
+            "gated_density": GATED_DENSITY,
+            "speedup_gated": False,
+        },
+        "methods": methods,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on a parity break, acceptance_rate below "
+                             f"{ACCEPTANCE_GATE} at draft density {GATED_DENSITY}, or "
+                             f"drafts_per_token above {DRAFTS_PER_TOKEN_GATE}")
+    parser.add_argument("--fast", action="store_true", help="smaller decode set for CI smoke runs")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH,
+                        help=f"where to write the JSON record (default: {RESULT_PATH})")
+    parser.add_argument("--output-dir", type=Path, default=None,
+                        help="directory receiving BENCH_speculative.json (overrides --output; "
+                             "used by the nightly trajectory job)")
+    args = parser.parse_args(argv)
+    if args.output_dir is not None:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        args.output = args.output_dir / RESULT_PATH.name
+
+    payload = run(fast=args.fast)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    gated = _density_key(GATED_DENSITY)
+    ok = True
+    print(f"speculative decode — {payload['model']} (k={payload['k']}, "
+          f"{payload['n_prompts']} prompts x {payload['max_new_tokens']} tokens)")
+    for method, record in payload["methods"].items():
+        for key, row in record["densities"].items():
+            print(f"  {method:<5} {key}: acceptance {row['acceptance_rate']:.3f}  "
+                  f"drafts/token {row['drafts_per_token']:.3f}  "
+                  f"speculative {row['wall_speculative_s']*1e3:7.1f} ms vs "
+                  f"plain {row['wall_plain_s']*1e3:7.1f} ms "
+                  f"(speedup_vs_plain {row['speedup_vs_plain']:.3f}x, ungated)")
+        if not record["parity"]:
+            ok = False
+            print(f"{method}: speculative output diverged from plain generate", file=sys.stderr)
+        gated_row = record["densities"][gated]
+        if gated_row["acceptance_rate"] < ACCEPTANCE_GATE:
+            ok = False
+            print(f"{method}: acceptance {gated_row['acceptance_rate']:.3f} at draft density "
+                  f"{GATED_DENSITY} is below the {ACCEPTANCE_GATE} gate", file=sys.stderr)
+        if gated_row["drafts_per_token"] > DRAFTS_PER_TOKEN_GATE:
+            ok = False
+            print(f"{method}: drafts_per_token {gated_row['drafts_per_token']:.3f} exceeds the "
+                  f"{DRAFTS_PER_TOKEN_GATE} gate", file=sys.stderr)
+    print(f"written to {args.output}")
+    if args.check and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

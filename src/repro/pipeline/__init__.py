@@ -27,6 +27,7 @@ from repro.pipeline.spec import (
     MethodSection,
     ModelSection,
     SpecError,
+    SpeculationSection,
 )
 from repro.pipeline.session import SparseSession
 from repro.pipeline.runner import (
@@ -46,6 +47,7 @@ __all__ = [
     "MethodSection",
     "EvalSection",
     "HardwareSection",
+    "SpeculationSection",
     "SpecError",
     "CACHE_POLICIES",
     "SparseSession",

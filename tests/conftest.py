@@ -13,6 +13,8 @@ from pathlib import Path
 
 import numpy as np
 import pytest
+import timing_utils
+from timing_utils import scaled
 
 from repro.data.datasets import DataSplits, make_splits
 from repro.data.tasks import build_task
@@ -50,7 +52,9 @@ def _hang_watchdog(request):
     else:
         yield
         return
-    faulthandler.dump_traceback_later(seconds, exit=True)
+    # Budgets stretch with REPRO_TEST_TIME_SCALE like every other timing
+    # constant (tests/timing_utils.py) so a slow runner is not declared hung.
+    faulthandler.dump_traceback_later(scaled(seconds), exit=True)
     try:
         yield
     finally:
@@ -120,3 +124,14 @@ def tiny_task(tiny_splits):
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def timing():
+    """The shared timing-tolerance helpers (``scaled``/``wait_until``).
+
+    Importable directly (``from timing_utils import scaled``) by modules
+    that use them at definition time; available as a fixture for tests that
+    only need them inline.
+    """
+    return timing_utils

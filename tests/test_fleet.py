@@ -35,6 +35,8 @@ from repro.serving.fleet import (
 from repro.serving.fleet.exchange import TransportClosed, resolve_entrypoint
 from repro.serving.fleet.worker import FAULT_BEFORE_PREFILL, FAULT_BEFORE_RUN
 
+from timing_utils import scaled, wait_until
+
 #: Every fleet in this module runs the same worker recipe, so one reference
 #: session serves all parity assertions.
 SPEC = WorkerSpec()
@@ -68,13 +70,6 @@ def make_fleet(**overrides):
     return FleetManager(FleetConfig(**defaults), registry=MetricsRegistry())
 
 
-def wait_until(predicate, timeout=20.0, message="condition"):
-    deadline = time.time() + timeout
-    while time.time() < deadline:
-        if predicate():
-            return
-        time.sleep(0.02)
-    raise AssertionError(f"timed out waiting for {message}")
 
 
 # ------------------------------------------------------------- configuration
@@ -467,7 +462,7 @@ class TestExchange:
         )
         try:
             message = None
-            deadline = time.time() + 60
+            deadline = time.time() + scaled(60)
             while time.time() < deadline:
                 message = handle.mailbox.recv_json(timeout=0.5)
                 if message is not None:

@@ -40,6 +40,8 @@ from repro.sparsity.base import SparsityMethod
 from repro.sparsity.cache_aware import CacheAwareDIP
 from repro.sparsity.dip import DynamicInputPruning
 
+from timing_utils import scaled, wait_until
+
 
 @pytest.fixture()
 def ragged_prompts(rng):
@@ -209,8 +211,16 @@ class TestKVCacheSlots:
         with pytest.raises(ValueError):
             cache.slot_view([2])
         view = cache.slot_view([0])
-        with pytest.raises(ValueError, match="one token"):
-            view.append(np.ones((1, 1, 2, 2)), np.ones((1, 1, 2, 2)))
+        with pytest.raises(ValueError, match="slot views expect"):
+            view.append(np.ones((1, 2, 2)), np.ones((1, 2, 2)))
+        with pytest.raises(ValueError, match="expected K/V for 1 slots"):
+            view.append(np.ones((2, 1, 1, 2)), np.ones((2, 1, 1, 2)))
+        # Multi-token appends (speculative verify) fit as long as the slot
+        # has room; past max_seq_len they overflow.
+        view.append(np.ones((1, 1, 2, 2)), np.ones((1, 1, 2, 2)))
+        assert cache.lengths.tolist() == [2, 0]
+        with pytest.raises(RuntimeError, match="overflow"):
+            view.append(np.ones((1, 1, 3, 2)), np.ones((1, 1, 3, 2)))
 
     def test_lockstep_append_keeps_lengths_in_sync(self):
         cache = KVCache(2, 4, 8, batch_size=2)
@@ -596,11 +606,18 @@ class TestServingServer:
 
 
 def _slow_down_steps(scheduler, seconds: float = 0.005):
-    """Make each decode step take at least ``seconds`` (deterministic timing)."""
+    """Make each decode step take at least ``scaled(seconds)``.
+
+    Timeout-path tests rely on the *ratio* step-duration : deadline (the
+    request must emit at least one token before its deadline lands), so the
+    slow-down stretches by the same :data:`conftest.TIME_SCALE` factor as
+    the ``timeout_s`` constants it is paired with.
+    """
+    delay = scaled(seconds)
     original = scheduler.batch.step
 
     def slow_step(slots, tokens):
-        time.sleep(seconds)
+        time.sleep(delay)
         return original(slots, tokens)
 
     scheduler.batch.step = slow_step
@@ -619,7 +636,7 @@ class TestSchedulerLifecycle:
             async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
                 _slow_down_steps(sched)
                 slow = asyncio.ensure_future(sched.submit(
-                    GenerationRequest(prompt=(1, 2, 3), max_new_tokens=40, timeout_s=0.03)
+                    GenerationRequest(prompt=(1, 2, 3), max_new_tokens=40, timeout_s=scaled(0.03))
                 ))
                 await asyncio.sleep(0)  # let the slow request enqueue first
                 queued = asyncio.ensure_future(sched.submit(
@@ -648,7 +665,7 @@ class TestSchedulerLifecycle:
                 ))
                 await asyncio.sleep(0)
                 starved = await sched.submit(
-                    GenerationRequest(prompt=(7, 8), max_new_tokens=5, timeout_s=0.02)
+                    GenerationRequest(prompt=(7, 8), max_new_tokens=5, timeout_s=scaled(0.02))
                 )
                 return await hog, starved
 
@@ -805,7 +822,7 @@ class TestServerLifecycle:
     def test_timeout_over_http_returns_partial_result(self, server):
         _slow_down_steps(server.scheduler)
         conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
-        payload = {"prompt": [1, 2, 3], "max_new_tokens": 40, "timeout_s": 0.03, "stream": False}
+        payload = {"prompt": [1, 2, 3], "max_new_tokens": 40, "timeout_s": scaled(0.03), "stream": False}
         conn.request("POST", "/generate", json.dumps(payload), {"Content-Type": "application/json"})
         response = conn.getresponse()
         result = json.loads(response.read())
@@ -827,15 +844,12 @@ class TestServerLifecycle:
         # RST on close so the server's next write/drain fails immediately.
         raw.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
         raw.close()
-        deadline = time.time() + 10
-        while time.time() < deadline:
+        def cancelled():
             stats = self._get_stats(server)["scheduler"]
-            if stats["requests_cancelled"] >= 1 and stats["active_requests"] == 0:
-                break
-            time.sleep(0.05)
-        else:
-            pytest.fail(f"server never cancelled the dropped stream: {stats}")
-        assert stats["tokens_generated"] < 60  # decode stopped early
+            return stats["requests_cancelled"] >= 1 and stats["active_requests"] == 0
+
+        wait_until(cancelled, timeout=10.0, message="server to cancel the dropped stream", interval=0.05)
+        assert self._get_stats(server)["scheduler"]["tokens_generated"] < 60  # decode stopped early
 
 
 # ---------------------------------------------------------------------------
@@ -954,32 +968,36 @@ class TestObservability:
 
     def test_idle_gap_does_not_deflate_tokens_per_second(self, tiny_session):
         """Busy time covers only admit/decode forwards, never idle waiting."""
+        gap = scaled(0.3)
+
         async def serve():
             config = SchedulerConfig(max_batch_size=2, max_seq_len=64)
             async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
                 await sched.submit(GenerationRequest(prompt=(1, 2, 3), max_new_tokens=4))
-                await asyncio.sleep(0.3)  # an idle gap between request bursts
+                await asyncio.sleep(gap)  # an idle gap between request bursts
                 await sched.submit(GenerationRequest(prompt=(4, 5, 6), max_new_tokens=4))
                 return sched.stats()
 
         stats = self._run(serve())
-        assert stats["busy_seconds"] < 0.25  # the 0.3s gap is not busy time
+        assert stats["busy_seconds"] < gap * 0.85  # the idle gap is not busy time
         assert stats["busy_seconds"] == pytest.approx(
             stats["admit_seconds"] + stats["step_seconds"]
         )
         # Throughput over busy time stays decode-speed-sized instead of being
-        # washed out to ~8/0.3 by the idle gap.
-        assert stats["tokens_per_second"] > stats["tokens_generated"] / 0.3
+        # washed out to ~8/gap by the idle gap.
+        assert stats["tokens_per_second"] > stats["tokens_generated"] / gap
 
     def test_expiry_sweeps_are_not_busy_time(self, tiny_session):
         """A slow deadline sweep over a deep queue must not count as decode."""
+        sweep = scaled(0.02)
+
         async def serve():
             config = SchedulerConfig(max_batch_size=1, max_seq_len=64)
             async with ContinuousBatchingScheduler(tiny_session.share_calibration(), config) as sched:
                 original = sched.batch.expired
 
                 def slow_expired(now):
-                    time.sleep(0.02)  # simulate an expensive expiry sweep
+                    time.sleep(sweep)  # simulate an expensive expiry sweep
                     return original(now)
 
                 sched.batch.expired = slow_expired
@@ -988,10 +1006,10 @@ class TestObservability:
 
         result, stats = self._run(serve())
         assert result.n_generated == 8
-        # >= 8 loop iterations x 20ms of sweeping ran on the loop; none of it
+        # >= 8 loop iterations x one sweep delay ran on the loop; none of it
         # may appear in the admit/step windows.
-        assert stats["busy_seconds"] < 0.12
-        assert stats["tokens_per_second"] > stats["tokens_generated"] / 0.16
+        assert stats["busy_seconds"] < 6 * sweep
+        assert stats["tokens_per_second"] > stats["tokens_generated"] / (8 * sweep)
 
     def test_gather_backend_cache_stats_in_stats_and_metrics(
         self, trained_tiny_model, calibration_sequences, eval_sequences

@@ -1,0 +1,45 @@
+"""Shared timing-tolerance helpers for the test suite.
+
+The suite's timing constants — forced-timeout deadlines, artificial step
+slow-downs, idle gaps, poll budgets — are tuned for an unloaded machine; a
+shared CI runner can be several times slower and flips them into flakes one
+constant at a time.  Everything timing-sensitive goes through
+:func:`scaled` (and the :func:`wait_until` poll helper) so one factor
+stretches every constant coherently and the *ratios* the tests actually
+rely on (step < deadline < budget) survive the slowdown.
+
+A plain module rather than ``conftest.py`` definitions because the
+benchmarks directory has its own ``conftest.py``: with the whole repo
+collected, ``import conftest`` resolves to whichever directory hit
+``sys.path`` first.  ``tests/conftest.py`` re-exposes these through the
+watchdog wiring and the ``timing`` fixture.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+#: Wall-clock scale factor; set ``REPRO_TEST_TIME_SCALE=3`` on a burdened
+#: runner to stretch every timing tolerance threefold.
+TIME_SCALE = max(1.0, float(os.environ.get("REPRO_TEST_TIME_SCALE", "1")))
+
+
+def scaled(seconds: float) -> float:
+    """Scale a timing constant by the environment's slowness factor."""
+    return seconds * TIME_SCALE
+
+
+def wait_until(predicate, timeout: float = 20.0, message: str = "condition", interval: float = 0.02):
+    """Poll ``predicate`` until true or ``scaled(timeout)`` elapses.
+
+    The shared replacement for hand-rolled ``deadline = time.time() + N``
+    loops: one poll cadence, one failure message shape, and a timeout that
+    stretches with :data:`TIME_SCALE` instead of flaking on slow runners.
+    """
+    deadline = time.time() + scaled(timeout)
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
